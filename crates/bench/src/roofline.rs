@@ -1,0 +1,114 @@
+//! In-process machine characterisation for the roofline reproduction
+//! (paper Fig. 11).
+//!
+//! The paper uses Intel Advisor's cache-aware roofline; we reproduce the
+//! *model* with two in-process microbenchmarks — peak FLOP/s (an
+//! FMA-saturating register kernel) and sustained memory bandwidth (a STREAM
+//! triad over arrays far larger than LLC) — and the analytic per-kernel
+//! arithmetic intensities from `tempest_stencil::metrics`.
+
+use std::time::Instant;
+
+/// Measured machine ceilings.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineRoof {
+    /// Peak single-precision compute (GFLOP/s, single core).
+    pub peak_gflops: f64,
+    /// Sustained DRAM bandwidth (GB/s, single core).
+    pub bandwidth_gbs: f64,
+}
+
+impl MachineRoof {
+    /// Attainable GFLOP/s at a given arithmetic intensity (flop/byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth_gbs).min(self.peak_gflops)
+    }
+
+    /// The ridge point: AI at which the kernel stops being memory-bound.
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_gflops / self.bandwidth_gbs
+    }
+}
+
+/// Measure peak single-precision FLOP/s with an unrolled multiply–add
+/// kernel over enough independent accumulators to fill the SIMD units.
+pub fn measure_peak_gflops(iters: u64) -> f64 {
+    const LANES: usize = 32;
+    let mut acc = [0f32; LANES];
+    for (i, v) in acc.iter_mut().enumerate() {
+        *v = 1.0 + i as f32 * 0.01;
+    }
+    let m = 1.000_000_1f32;
+    let a = 1e-9f32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for v in acc.iter_mut() {
+            *v = v.mul_add(m, a);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Keep the result alive.
+    let sum: f32 = acc.iter().sum();
+    std::hint::black_box(sum);
+    // LANES lanes × 2 flops per fused multiply–add.
+    (iters as f64) * (2 * LANES) as f64 / secs / 1e9
+}
+
+/// Measure sustained bandwidth with a STREAM-style triad
+/// `a[i] = b[i] + s·c[i]` over arrays of `len` f32 (choose `len` ≫ LLC).
+pub fn measure_bandwidth_gbs(len: usize, reps: usize) -> f64 {
+    let b = vec![1.0f32; len];
+    let c = vec![2.0f32; len];
+    let mut a = vec![0.0f32; len];
+    let s = 1.5f32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for i in 0..len {
+            a[i] = b[i] + s * c[i];
+        }
+        std::hint::black_box(&a);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // 2 reads + 1 write (+1 write-allocate read) × 4 bytes.
+    let bytes = (reps as f64) * (len as f64) * 4.0 * 4.0;
+    bytes / secs / 1e9
+}
+
+/// One kernel's position on the roofline.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Label, e.g. `acoustic so4 wtb`.
+    pub label: String,
+    /// Arithmetic intensity (flop/byte).
+    pub ai: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_measurement_is_positive_and_sane() {
+        let g = measure_peak_gflops(200_000);
+        assert!(g > 0.05 && g < 1000.0, "peak {g} GFLOP/s");
+    }
+
+    #[test]
+    fn bandwidth_measurement_is_positive_and_sane() {
+        let bw = measure_bandwidth_gbs(1 << 20, 3);
+        assert!(bw > 0.05 && bw < 2000.0, "bw {bw} GB/s");
+    }
+
+    #[test]
+    fn roof_model() {
+        let roof = MachineRoof {
+            peak_gflops: 100.0,
+            bandwidth_gbs: 10.0,
+        };
+        assert_eq!(roof.ridge_ai(), 10.0);
+        assert_eq!(roof.attainable(1.0), 10.0); // memory bound
+        assert_eq!(roof.attainable(100.0), 100.0); // compute bound
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared tune-and-measure logic for the harness binaries (§IV.C).
+//!
+//! The paper compares auto-tuned WTB against Devito's "aggressively tuned"
+//! spatially blocked code, so both sides get a tuning sweep here: the
+//! baseline over block shapes, WTB over the Table-I candidate grid.
+
+use std::time::Duration;
+
+use tempest_core::{Execution, RunStats, WaveSolver};
+use tempest_core::operator::{Schedule, SparseMode};
+use tempest_par::Policy;
+use tempest_tiling::{autotune, Candidate, TuneResult};
+
+/// Execution for a WTB candidate.
+pub fn exec_wavefront(c: &Candidate) -> Execution {
+    Execution {
+        schedule: Schedule::Wavefront {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        },
+        sparse: SparseMode::FusedCompressed,
+        policy: Policy::default(),
+    }
+}
+
+/// Execution for a spatially blocked baseline.
+pub fn exec_spaceblocked(block_x: usize, block_y: usize) -> Execution {
+    Execution {
+        schedule: Schedule::SpaceBlocked { block_x, block_y },
+        sparse: SparseMode::Classic,
+        policy: Policy::default(),
+    }
+}
+
+/// Best-of-`repeats` measurement of one execution.
+pub fn measure<S: WaveSolver>(s: &mut S, exec: &Execution, repeats: usize) -> RunStats {
+    assert!(repeats >= 1);
+    let mut best: Option<RunStats> = None;
+    for _ in 0..repeats {
+        let st = s.run(exec);
+        if best.map(|b| st.elapsed < b.elapsed).unwrap_or(true) {
+            best = Some(st);
+        }
+    }
+    best.unwrap()
+}
+
+/// Tune the baseline block shape over the standard candidates.
+pub fn tune_baseline<S: WaveSolver>(s: &mut S) -> (usize, usize) {
+    let mut best = (8usize, 8usize);
+    let mut best_t = Duration::MAX;
+    for b in [4usize, 8, 16, 32] {
+        let e = exec_spaceblocked(b, b);
+        let t = s.run(&e).elapsed.min(s.run(&e).elapsed);
+        if t < best_t {
+            best_t = t;
+            best = (b, b);
+        }
+    }
+    best
+}
+
+/// Tune WTB over `cands` using the given (short-`nt`) solver. Each
+/// candidate is timed twice and keeps its best time — shared-machine noise
+/// otherwise dominates short tuning runs.
+pub fn tune_wavefront<S: WaveSolver>(s: &mut S, cands: &[Candidate]) -> TuneResult {
+    autotune(cands, |c| {
+        let e = exec_wavefront(c);
+        let a = s.run(&e).elapsed;
+        let b = s.run(&e).elapsed;
+        a.min(b)
+    })
+}
+
+/// WTB candidate grid for a tuning solver with `nt_tune` timesteps: every
+/// temporal height must fit the run.
+pub fn candidates_for(nx: usize, ny: usize, nt_tune: usize, quick: bool) -> Vec<Candidate> {
+    let tile_ts: Vec<usize> = [4usize, 8, 16]
+        .iter()
+        .copied()
+        .filter(|&t| t <= nt_tune)
+        .collect();
+    let tile_ts = if tile_ts.is_empty() { vec![2] } else { tile_ts };
+    if quick {
+        tempest_tiling::autotune::quick_candidates(nx, ny, &tile_ts)
+    } else {
+        tempest_tiling::autotune::default_candidates(nx, ny, &tile_ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+
+    #[test]
+    fn tune_and_measure_roundtrip() {
+        let mut tuner = setup::acoustic(16, 4, 8, 0);
+        let cands = candidates_for(16, 16, 8, true);
+        assert!(!cands.is_empty());
+        let res = tune_wavefront(&mut tuner, &cands);
+        assert!(res.best_time > Duration::ZERO);
+        let (bx, by) = tune_baseline(&mut tuner);
+        assert!(bx >= 4 && by >= 4);
+        let st = measure(&mut tuner, &exec_spaceblocked(bx, by), 2);
+        assert!(st.gpoints_per_s > 0.0);
+    }
+}

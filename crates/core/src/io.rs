@@ -1,0 +1,114 @@
+//! Lightweight result export: shot gathers and wavefield slices as CSV,
+//! so harness and example outputs can be plotted externally.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use tempest_grid::{Array2, Array3};
+
+/// Write a trace matrix (`nt × receivers`) as CSV with a time column.
+///
+/// Columns: `t_s, r0, r1, …` — one row per timestep.
+pub fn write_trace_csv(path: &Path, trace: &Array2<f32>, dt: f32) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let [nt, nr] = trace.dims();
+    write!(f, "t_s")?;
+    for r in 0..nr {
+        write!(f, ",r{r}")?;
+    }
+    writeln!(f)?;
+    for t in 0..nt {
+        write!(f, "{}", t as f32 * dt)?;
+        for r in 0..nr {
+            write!(f, ",{}", trace.get(t, r))?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Write one z-slice of a wavefield as CSV (`nx` rows × `ny` columns).
+pub fn write_slice_csv(path: &Path, field: &Array3<f32>, z: usize) -> std::io::Result<()> {
+    let [nx, ny, nz] = field.dims();
+    assert!(z < nz, "z slice out of range");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for x in 0..nx {
+        let row: Vec<String> = (0..ny).map(|y| field.get(x, y, z).to_string()).collect();
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parse a trace CSV produced by [`write_trace_csv`] (round-trip tests and
+/// external tooling).
+pub fn read_trace_csv(path: &Path) -> std::io::Result<(Array2<f32>, f32)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(std::io::ErrorKind::InvalidData)?;
+    let nr = header.split(',').count() - 1;
+    let rows: Vec<Vec<f32>> = lines
+        .map(|l| {
+            l.split(',')
+                .map(|v| v.parse::<f32>().unwrap_or(f32::NAN))
+                .collect()
+        })
+        .collect();
+    let nt = rows.len();
+    assert!(nt >= 2 && nr >= 1, "degenerate trace file");
+    let dt = rows[1][0] - rows[0][0];
+    let mut out = Array2::zeros(nt, nr);
+    for (t, row) in rows.iter().enumerate() {
+        for r in 0..nr {
+            out.set(t, r, row[r + 1]);
+        }
+    }
+    Ok((out, dt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_csv_roundtrip() {
+        let mut tr = Array2::<f32>::zeros(4, 3);
+        for t in 0..4 {
+            for r in 0..3 {
+                tr.set(t, r, (t * 10 + r) as f32 * 0.5 - 1.0);
+            }
+        }
+        let dir = std::env::temp_dir();
+        let path = dir.join("tempest_trace_roundtrip.csv");
+        write_trace_csv(&path, &tr, 0.002).unwrap();
+        let (back, dt) = read_trace_csv(&path).unwrap();
+        assert!((dt - 0.002).abs() < 1e-6);
+        assert_eq!(back.dims(), [4, 3]);
+        for t in 0..4 {
+            for r in 0..3 {
+                assert_eq!(back.get(t, r), tr.get(t, r));
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn slice_csv_shape() {
+        let mut f3 = Array3::<f32>::zeros(3, 4, 2);
+        f3.set(1, 2, 1, 7.5);
+        let path = std::env::temp_dir().join("tempest_slice.csv");
+        write_slice_csv(&path, &f3, 1).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].split(',').count(), 4);
+        assert!(lines[1].split(',').nth(2).unwrap().starts_with("7.5"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_bounds_checked() {
+        let f3 = Array3::<f32>::zeros(2, 2, 2);
+        let _ = write_slice_csv(&std::env::temp_dir().join("x.csv"), &f3, 5);
+    }
+}

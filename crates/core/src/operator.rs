@@ -1,0 +1,258 @@
+//! The high-level execution API: which schedule, which sparse-operator
+//! path, how parallel — and the throughput statistics of a run (the
+//! GPoints/s metric of the paper's Fig. 9).
+
+use std::time::Duration;
+
+use tempest_grid::{Array2, Array3, Shape};
+use tempest_par::Policy;
+use tempest_tiling::{SpaceBlockSpec, WavefrontSpec};
+
+/// How the off-grid sparse operators execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseMode {
+    /// Per-timestep non-affine loops after the dense sweep (Listing 1).
+    /// Only legal under [`Schedule::SpaceBlocked`] — under temporal blocking
+    /// it would inject/measure at wrong space-time coordinates (Fig. 4b).
+    Classic,
+    /// Precomputed, grid-aligned, fused into the loop nest; the `z2` loop
+    /// scans the full pencil against the binary mask (Listing 4).
+    Fused,
+    /// Fused with the compressed `nnz_mask` / `Sp_SID` iteration space
+    /// (Listing 5) — the paper's recommended configuration.
+    FusedCompressed,
+}
+
+/// Which loop schedule traverses the space-time domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Per-timestep spatial blocking (the baseline of Fig. 9).
+    SpaceBlocked {
+        /// Block extent along x.
+        block_x: usize,
+        /// Block extent along y.
+        block_y: usize,
+    },
+    /// Wave-front temporal blocking (§II.B). `tile_t` is in *timesteps*
+    /// (multi-phase propagators convert to virtual steps internally); the
+    /// skew is chosen by the propagator from its dependency radius.
+    Wavefront {
+        /// Spatial tile extent along x (Table I `tile_x`).
+        tile_x: usize,
+        /// Spatial tile extent along y (Table I `tile_y`).
+        tile_y: usize,
+        /// Temporal tile height in timesteps.
+        tile_t: usize,
+        /// Intra-slab block extent along x (Table I `block_x`).
+        block_x: usize,
+        /// Intra-slab block extent along y (Table I `block_y`).
+        block_y: usize,
+    },
+}
+
+/// A complete execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execution {
+    /// The loop schedule.
+    pub schedule: Schedule,
+    /// The sparse-operator path.
+    pub sparse: SparseMode,
+    /// Thread policy for independent blocks.
+    pub policy: Policy,
+}
+
+impl Execution {
+    /// The paper's baseline: spatially blocked, vectorised, classic sparse
+    /// operators between timesteps.
+    pub fn baseline() -> Self {
+        Execution {
+            schedule: Schedule::SpaceBlocked {
+                block_x: 8,
+                block_y: 8,
+            },
+            sparse: SparseMode::Classic,
+            policy: Policy::default(),
+        }
+    }
+
+    /// Wave-front temporal blocking with the paper's most common tuned
+    /// shape (Table I: tile 64×64, block 8×8) and a moderate temporal
+    /// height.
+    pub fn wavefront_default() -> Self {
+        Execution {
+            schedule: Schedule::Wavefront {
+                tile_x: 64,
+                tile_y: 64,
+                tile_t: 8,
+                block_x: 8,
+                block_y: 8,
+            },
+            sparse: SparseMode::FusedCompressed,
+            policy: Policy::default(),
+        }
+    }
+
+    /// Force sequential execution (reproducible timings on shared machines).
+    pub fn sequential(mut self) -> Self {
+        self.policy = Policy::Sequential;
+        self
+    }
+
+    /// Convert to the tiling crate's spec given a per-virtual-step skew and
+    /// phase count. Panics if the schedule is not `Wavefront`.
+    pub fn wavefront_spec(&self, skew: usize, phases: usize) -> WavefrontSpec {
+        match self.schedule {
+            Schedule::Wavefront {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            } => WavefrontSpec::new(
+                tile_x,
+                tile_y,
+                (tile_t * phases).max(1),
+                skew,
+                block_x,
+                block_y,
+            ),
+            _ => panic!("not a wavefront schedule"),
+        }
+    }
+
+    /// Convert to the tiling crate's space-block spec. Panics if the
+    /// schedule is not `SpaceBlocked`.
+    pub fn spaceblock_spec(&self) -> SpaceBlockSpec {
+        match self.schedule {
+            Schedule::SpaceBlocked { block_x, block_y } => SpaceBlockSpec::new(block_x, block_y),
+            _ => panic!("not a space-blocked schedule"),
+        }
+    }
+
+    /// Check schedule/sparse compatibility; panics on the Fig. 4b hazard.
+    pub fn validate(&self) {
+        if matches!(self.schedule, Schedule::Wavefront { .. })
+            && self.sparse == SparseMode::Classic
+        {
+            panic!(
+                "classic (per-timestep) sparse operators are illegal under wave-front \
+                 temporal blocking: source injection would precede/miss stencil updates \
+                 of blocks at different timesteps (paper Fig. 4b). Use SparseMode::Fused \
+                 or SparseMode::FusedCompressed (the precomputation scheme of §II.A)."
+            );
+        }
+    }
+}
+
+/// Timing and throughput of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Wall-clock time of the time loop (excludes setup/precompute).
+    pub elapsed: Duration,
+    /// Timesteps executed.
+    pub nt: usize,
+    /// Grid points per timestep.
+    pub grid_points: usize,
+    /// Throughput in giga point-updates per second (Fig. 9's metric).
+    pub gpoints_per_s: f64,
+}
+
+impl RunStats {
+    /// Compute throughput from a measured run.
+    pub fn new(elapsed: Duration, nt: usize, shape: Shape) -> Self {
+        let updates = (nt as f64) * (shape.len() as f64);
+        let secs = elapsed.as_secs_f64().max(1e-12);
+        RunStats {
+            elapsed,
+            nt,
+            grid_points: shape.len(),
+            gpoints_per_s: updates / secs / 1e9,
+        }
+    }
+
+    /// Achieved GFLOP/s given a per-point-update FLOP count.
+    pub fn gflops(&self, flops_per_point: f64) -> f64 {
+        self.gpoints_per_s * flops_per_point
+    }
+}
+
+/// Common interface of the three wave propagators.
+pub trait WaveSolver {
+    /// Propagator name ("acoustic", "tti", "elastic").
+    fn name(&self) -> &'static str;
+
+    /// Grid shape.
+    fn shape(&self) -> Shape;
+
+    /// Number of timesteps.
+    fn num_timesteps(&self) -> usize;
+
+    /// Space order of the discretisation.
+    fn space_order(&self) -> usize;
+
+    /// Run the full simulation (resets state first) and return throughput.
+    fn run(&mut self, exec: &Execution) -> RunStats;
+
+    /// Snapshot of the representative final wavefield (pressure for
+    /// acoustic/TTI, vz for elastic) — the object equivalence tests compare.
+    fn final_field(&mut self) -> Array3<f32>;
+
+    /// Receiver data recorded by the last run, if receivers were attached.
+    fn trace(&self) -> Option<Array2<f32>>;
+
+    /// FLOPs per point-update (roofline model input).
+    fn flops_per_point(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_spaceblocked_classic() {
+        let e = Execution::baseline();
+        assert!(matches!(e.schedule, Schedule::SpaceBlocked { .. }));
+        assert_eq!(e.sparse, SparseMode::Classic);
+        e.validate();
+    }
+
+    #[test]
+    fn wavefront_default_is_fused_compressed() {
+        let e = Execution::wavefront_default();
+        assert_eq!(e.sparse, SparseMode::FusedCompressed);
+        e.validate();
+        let spec = e.wavefront_spec(2, 1);
+        assert_eq!(spec.skew, 2);
+        assert_eq!(spec.tile_t, 8);
+        // Two-phase propagators double the virtual tile height.
+        assert_eq!(e.wavefront_spec(2, 2).tile_t, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 4b")]
+    fn classic_under_wavefront_is_rejected() {
+        let mut e = Execution::wavefront_default();
+        e.sparse = SparseMode::Classic;
+        e.validate();
+    }
+
+    #[test]
+    fn stats_throughput() {
+        let s = RunStats::new(Duration::from_secs(2), 100, Shape::cube(100));
+        // 100 steps × 1e6 points / 2 s = 5e7 pts/s = 0.05 GPts/s
+        assert!((s.gpoints_per_s - 0.05).abs() < 1e-9);
+        assert!((s.gflops(40.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_override() {
+        let e = Execution::baseline().sequential();
+        assert_eq!(e.policy, Policy::Sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a wavefront")]
+    fn spec_conversion_checks_kind() {
+        let _ = Execution::baseline().wavefront_spec(1, 1);
+    }
+}

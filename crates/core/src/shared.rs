@@ -1,0 +1,240 @@
+//! Shared wavefield storage for parallel block updates.
+//!
+//! A stencil sweep updates disjoint `(x, y)` blocks of one time level in
+//! parallel while *reading* other time levels. Rust's `&mut` aliasing rules
+//! cannot express "disjoint interior writes plus shared reads of different
+//! ring slots" through safe references, so [`LevelRing`] owns the raw
+//! volumes and hands out raw-slice views under a documented safety
+//! contract. The schedule engine (`tempest-tiling`) guarantees the contract:
+//! its legality is machine-checked (`tempest_tiling::legality`) and the
+//! propagators are additionally validated bit-for-bit against purely
+//! sequential references.
+
+use std::cell::UnsafeCell;
+use tempest_grid::{Array3, Shape};
+
+/// A circular ring of padded f32 volumes over the time dimension, with
+/// unchecked shared mutation.
+///
+/// # Safety contract
+///
+/// For any two concurrently executing region updates at the same virtual
+/// step, callers must guarantee:
+/// * writes go only to the level slot of the step being computed, and only
+///   to the caller's own disjoint `(x, y)` region;
+/// * reads target *other* ring slots (older time levels), or the writer's
+///   own region.
+///
+/// These are exactly the guarantees a legal schedule provides.
+pub struct LevelRing {
+    levels: Vec<UnsafeCell<Box<[f32]>>>,
+    shape: Shape,
+    halo: usize,
+    pdims: [usize; 3],
+}
+
+// SAFETY: all mutation goes through raw pointers under the documented
+// disjointness contract; the container itself is freely shareable.
+unsafe impl Sync for LevelRing {}
+unsafe impl Send for LevelRing {}
+
+impl LevelRing {
+    /// Allocate `num_levels` zeroed volumes of `shape` interior plus a halo
+    /// of `halo` points on every side.
+    pub fn new(shape: Shape, halo: usize, num_levels: usize) -> Self {
+        assert!(num_levels >= 2, "a time ring needs at least two levels");
+        let p = shape.padded(halo);
+        let n = p.len();
+        LevelRing {
+            levels: (0..num_levels)
+                .map(|_| UnsafeCell::new(vec![0.0f32; n].into_boxed_slice()))
+                .collect(),
+            shape,
+            halo,
+            pdims: [p.nx, p.ny, p.nz],
+        }
+    }
+
+    /// Interior shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Halo width.
+    #[inline]
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of ring slots.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Ring slot of logical step `t`.
+    #[inline]
+    pub fn slot(&self, t: usize) -> usize {
+        t % self.levels.len()
+    }
+
+    /// Raw stride of the padded x axis.
+    #[inline]
+    pub fn sx(&self) -> usize {
+        self.pdims[1] * self.pdims[2]
+    }
+
+    /// Raw stride of the padded y axis.
+    #[inline]
+    pub fn sy(&self) -> usize {
+        self.pdims[2]
+    }
+
+    /// Raw linear index of interior point `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        ((x + self.halo) * self.pdims[1] + (y + self.halo)) * self.pdims[2] + (z + self.halo)
+    }
+
+    /// Shared view of the level holding step `t`.
+    ///
+    /// # Safety
+    /// No concurrent write to this slot may overlap the read (see the type-
+    /// level contract).
+    #[inline]
+    pub unsafe fn level(&self, t: usize) -> &[f32] {
+        &*self.levels[self.slot(t)].get()
+    }
+
+    /// Mutable view of the interior z pencil `(x, y, 0..nz)` of step `t`.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive logical ownership of this `(x, y)`
+    /// pencil at this step (disjoint-region contract).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn pencil_mut(&self, t: usize, x: usize, y: usize) -> &mut [f32] {
+        let base = self.idx(x, y, 0);
+        let ptr = (*self.levels[self.slot(t)].get()).as_mut_ptr();
+        std::slice::from_raw_parts_mut(ptr.add(base), self.shape.nz)
+    }
+
+    /// Copy the interior of step `t` into an unpadded array (tests,
+    /// snapshots). Takes `&mut self`: requires quiescence.
+    pub fn interior_copy(&mut self, t: usize) -> Array3<f32> {
+        let mut out = Array3::from_shape(self.shape);
+        // SAFETY: &mut self means no concurrent access.
+        let lvl = unsafe { self.level(t) };
+        for x in 0..self.shape.nx {
+            for y in 0..self.shape.ny {
+                let base = self.idx(x, y, 0);
+                out.pencil_mut(x, y)
+                    .copy_from_slice(&lvl[base..base + self.shape.nz]);
+            }
+        }
+        out
+    }
+
+    /// Zero every level (run-to-run reset).
+    pub fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.get_mut().fill(0.0);
+        }
+    }
+
+    /// Interior max |value| of step `t` (requires quiescence).
+    pub fn interior_max_abs(&mut self, t: usize) -> f32 {
+        self.interior_copy(t).max_abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_padded_layout() {
+        let r = LevelRing::new(Shape::new(4, 5, 6), 2, 3);
+        // padded dims 8x9x10
+        assert_eq!(r.sx(), 9 * 10);
+        assert_eq!(r.sy(), 10);
+        assert_eq!(r.idx(0, 0, 0), (2 * 9 + 2) * 10 + 2);
+        assert_eq!(r.slot(5), 2);
+    }
+
+    #[test]
+    fn pencil_write_read_roundtrip() {
+        let mut r = LevelRing::new(Shape::cube(4), 1, 2);
+        unsafe {
+            let p = r.pencil_mut(1, 2, 3);
+            p[0] = 5.0;
+            p[3] = -2.0;
+        }
+        let c = r.interior_copy(1);
+        assert_eq!(c.get(2, 3, 0), 5.0);
+        assert_eq!(c.get(2, 3, 3), -2.0);
+        // other level untouched
+        assert_eq!(r.interior_max_abs(0), 0.0);
+    }
+
+    #[test]
+    fn halo_reads_are_zero() {
+        let r = LevelRing::new(Shape::cube(4), 2, 2);
+        let lvl = unsafe { r.level(0) };
+        // A read r points beyond the interior stays in the allocation and is 0.
+        let i = r.idx(3, 3, 3);
+        assert_eq!(lvl[i + 2], 0.0);
+        assert_eq!(lvl[i + 2 * r.sx()], 0.0);
+    }
+
+    #[test]
+    fn clear_resets_all_levels() {
+        let mut r = LevelRing::new(Shape::cube(3), 1, 3);
+        for t in 0..3 {
+            unsafe {
+                r.pencil_mut(t, 0, 0)[0] = 1.0;
+            }
+        }
+        r.clear();
+        for t in 0..3 {
+            assert_eq!(r.interior_max_abs(t), 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_disjoint_pencil_writes() {
+        use std::sync::Arc;
+        let r = Arc::new(LevelRing::new(Shape::cube(8), 1, 2));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for x in (tid * 2)..(tid * 2 + 2) {
+                        for y in 0..8 {
+                            // SAFETY: threads own disjoint x slices.
+                            let p = unsafe { r.pencil_mut(1, x, y) };
+                            for (z, v) in p.iter_mut().enumerate() {
+                                *v = (x * 100 + y * 10 + z) as f32;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut r = Arc::try_unwrap(r).ok().unwrap();
+        let c = r.interior_copy(1);
+        for (x, y, z) in Shape::cube(8).iter() {
+            assert_eq!(c.get(x, y, z), (x * 100 + y * 10 + z) as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_level() {
+        let _ = LevelRing::new(Shape::cube(2), 0, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Source / receiver bundles: everything a propagator needs for both the
+//! classic (Listing 1) and the precomputed-fused (Listings 4–5) sparse-
+//! operator paths, built once per simulation.
+
+use tempest_grid::{Array2, Domain};
+use tempest_sparse::interp::trilinear_all;
+use tempest_sparse::wavelet::wavelet_matrix;
+use tempest_sparse::{
+    ricker, CompressedMask, InterpStencil, ReceiverPrecompute, SourcePrecompute, SparsePoints,
+};
+
+/// A set of sources with their wavelets, in both representations.
+pub struct SourceBundle {
+    /// Off-grid source positions.
+    pub points: SparsePoints,
+    /// Wavelet matrix `src[t][s]`.
+    pub wavelets: Array2<f32>,
+    /// Trilinear footprints (classic injection path).
+    pub stencils: Vec<InterpStencil>,
+    /// The paper's precomputed grid-aligned structures (`SM`, `SID`,
+    /// `src_dcmp`).
+    pub pre: SourcePrecompute,
+    /// Compressed per-pencil index (`nnz_mask` / `Sp_SID`).
+    pub comp: CompressedMask,
+}
+
+impl SourceBundle {
+    /// Build from explicit wavelets.
+    pub fn new(domain: &Domain, points: SparsePoints, wavelets: Array2<f32>) -> Self {
+        assert_eq!(wavelets.dims()[1], points.len());
+        let stencils = trilinear_all(domain, &points);
+        let pre = SourcePrecompute::build(domain, &points, &wavelets);
+        let comp = CompressedMask::build(&pre.sid);
+        SourceBundle {
+            points,
+            wavelets,
+            stencils,
+            pre,
+            comp,
+        }
+    }
+
+    /// Build with every source firing the same Ricker wavelet (the paper's
+    /// configuration).
+    pub fn with_ricker(domain: &Domain, points: SparsePoints, f0: f32, dt: f32, nt: usize) -> Self {
+        let w = ricker(f0, dt, nt);
+        let m = wavelet_matrix(&w, points.len());
+        Self::new(domain, points, m)
+    }
+
+    /// Amplitudes of all sources at timestep `t` (classic path).
+    #[inline]
+    pub fn amps_at(&self, t: usize) -> &[f32] {
+        self.wavelets.row(t)
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// A set of receivers in both representations.
+pub struct ReceiverBundle {
+    /// Off-grid receiver positions.
+    pub points: SparsePoints,
+    /// Trilinear footprints (classic interpolation path).
+    pub stencils: Vec<InterpStencil>,
+    /// Grid-aligned gather structures (`RM`, `RID`, CSR contributions).
+    pub pre: ReceiverPrecompute,
+    /// Compressed per-pencil index.
+    pub comp: CompressedMask,
+}
+
+impl ReceiverBundle {
+    /// Build the gather structures for a receiver set.
+    pub fn new(domain: &Domain, points: SparsePoints) -> Self {
+        let stencils = trilinear_all(domain, &points);
+        let pre = ReceiverPrecompute::build(domain, &points);
+        let comp = pre.compressed();
+        ReceiverBundle {
+            points,
+            stencils,
+            pre,
+            comp,
+        }
+    }
+
+    /// Number of receivers.
+    pub fn num_receivers(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_grid::Shape;
+
+    fn dom() -> Domain {
+        Domain::uniform(Shape::cube(17), 10.0)
+    }
+
+    #[test]
+    fn source_bundle_consistent() {
+        let d = dom();
+        let pts = SparsePoints::plane_layout(&d, 4, 0.3, 0.4);
+        let b = SourceBundle::with_ricker(&d, pts, 12.0, 0.001, 32);
+        assert_eq!(b.num_sources(), 4);
+        assert_eq!(b.wavelets.dims(), [32, 4]);
+        assert_eq!(b.stencils.len(), 4);
+        assert_eq!(b.comp.total(), b.pre.npts());
+        assert_eq!(b.amps_at(0).len(), 4);
+    }
+
+    #[test]
+    fn receiver_bundle_consistent() {
+        let d = dom();
+        let pts = SparsePoints::receiver_line(&d, 7, 0.1);
+        let b = ReceiverBundle::new(&d, pts);
+        assert_eq!(b.num_receivers(), 7);
+        assert_eq!(b.comp.total(), b.pre.npts());
+    }
+
+    #[test]
+    #[should_panic]
+    fn source_bundle_checks_wavelet_shape() {
+        let d = dom();
+        let pts = SparsePoints::single_center(&d, 0.5);
+        let w = Array2::<f32>::zeros(8, 3); // 3 columns but 1 source
+        let _ = SourceBundle::new(&d, pts, w);
+    }
+}

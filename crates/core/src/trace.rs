@@ -1,0 +1,142 @@
+//! Receiver trace storage with lock-free accumulation.
+//!
+//! The fused receiver gather (mirror of Listing 4) accumulates
+//! `rec[t][r] += w · u[t][p]` from inside block updates; blocks of one slab
+//! run in parallel and a receiver's 8-point footprint can straddle a block
+//! boundary, so accumulation uses an atomic CAS add. Contention is
+//! negligible — footprints are 8 points per receiver per timestep.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use tempest_grid::Array2;
+
+/// A `(nt × num_receivers)` matrix of measured data with atomic accumulate.
+pub struct TraceBuffer {
+    data: Vec<AtomicU32>,
+    nt: usize,
+    nrec: usize,
+}
+
+impl TraceBuffer {
+    /// Allocate a zeroed trace.
+    pub fn new(nt: usize, nrec: usize) -> Self {
+        assert!(nt > 0 && nrec > 0, "trace extents must be non-zero");
+        TraceBuffer {
+            data: (0..nt * nrec).map(|_| AtomicU32::new(0f32.to_bits())).collect(),
+            nt,
+            nrec,
+        }
+    }
+
+    /// Number of timesteps.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of receivers.
+    pub fn num_receivers(&self) -> usize {
+        self.nrec
+    }
+
+    /// Atomically add `v` to `rec[t][r]`.
+    #[inline]
+    pub fn add(&self, t: usize, r: usize, v: f32) {
+        debug_assert!(t < self.nt && r < self.nrec);
+        let cell = &self.data[t * self.nrec + r];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Read `rec[t][r]`.
+    #[inline]
+    pub fn get(&self, t: usize, r: usize) -> f32 {
+        f32::from_bits(self.data[t * self.nrec + r].load(Ordering::Relaxed))
+    }
+
+    /// Zero the whole trace.
+    pub fn clear(&mut self) {
+        for c in &mut self.data {
+            *c.get_mut() = 0f32.to_bits();
+        }
+    }
+
+    /// Snapshot into a plain array.
+    pub fn to_array(&self) -> Array2<f32> {
+        let mut out = Array2::zeros(self.nt, self.nrec);
+        for t in 0..self.nt {
+            for r in 0..self.nrec {
+                out.set(t, r, self.get(t, r));
+            }
+        }
+        out
+    }
+
+    /// Maximum |value| over the whole trace.
+    pub fn max_abs(&self) -> f32 {
+        let mut m = 0.0f32;
+        for t in 0..self.nt {
+            for r in 0..self.nrec {
+                m = m.max(self.get(t, r).abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_and_get() {
+        let tb = TraceBuffer::new(4, 3);
+        tb.add(1, 2, 0.5);
+        tb.add(1, 2, 0.25);
+        assert_eq!(tb.get(1, 2), 0.75);
+        assert_eq!(tb.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_exact_for_representable_values() {
+        let tb = Arc::new(TraceBuffer::new(1, 1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let tb = Arc::clone(&tb);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        tb.add(0, 0, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tb.get(0, 0), 4000.0);
+    }
+
+    #[test]
+    fn clear_and_snapshot() {
+        let mut tb = TraceBuffer::new(2, 2);
+        tb.add(0, 0, 1.0);
+        tb.add(1, 1, -2.0);
+        assert_eq!(tb.max_abs(), 2.0);
+        let a = tb.to_array();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), -2.0);
+        tb.clear();
+        assert_eq!(tb.max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_empty() {
+        let _ = TraceBuffer::new(0, 1);
+    }
+}

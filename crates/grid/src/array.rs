@@ -1,0 +1,400 @@
+//! Flat dense 2-D and 3-D arrays.
+//!
+//! Storage is a single contiguous `Vec` in row-major order with the last axis
+//! contiguous. Stencil kernels obtain raw `&[T]` pencils along `z` and index
+//! with precomputed strides, so the hot loops carry no per-element bounds
+//! checks beyond what the compiler can hoist.
+
+use crate::shape::Shape;
+
+/// A dense 3-D array with `z` contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array3<T> {
+    dims: [usize; 3],
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Array3<T> {
+    /// Allocate a zero-initialised (default-initialised) array.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "array extents must be non-zero");
+        Array3 {
+            dims: [nx, ny, nz],
+            data: vec![T::default(); nx * ny * nz],
+        }
+    }
+
+    /// Allocate from a [`Shape`].
+    pub fn from_shape(s: Shape) -> Self {
+        Self::zeros(s.nx, s.ny, s.nz)
+    }
+
+    /// Allocate filled with `v`.
+    pub fn full(nx: usize, ny: usize, nz: usize, v: T) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "array extents must be non-zero");
+        Array3 {
+            dims: [nx, ny, nz],
+            data: vec![v; nx * ny * nz],
+        }
+    }
+}
+
+impl<T: Copy> Array3<T> {
+    /// Dimensions `[nx, ny, nz]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Shape view of the dimensions.
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.dims[0], self.dims[1], self.dims[2])
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (extents are non-zero by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Stride of the `x` axis in elements (`ny * nz`).
+    #[inline]
+    pub fn stride_x(&self) -> usize {
+        self.dims[1] * self.dims[2]
+    }
+
+    /// Stride of the `y` axis in elements (`nz`).
+    #[inline]
+    pub fn stride_y(&self) -> usize {
+        self.dims[2]
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(
+            x < self.dims[0] && y < self.dims[1] && z < self.dims[2],
+            "index ({x},{y},{z}) out of bounds {:?}",
+            self.dims
+        );
+        (x * self.dims[1] + y) * self.dims[2] + z
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> T {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: T) {
+        let i = self.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Borrow the whole backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the whole backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// The contiguous `z` pencil at `(x, y)`.
+    #[inline]
+    pub fn pencil(&self, x: usize, y: usize) -> &[T] {
+        let start = self.idx(x, y, 0);
+        &self.data[start..start + self.dims[2]]
+    }
+
+    /// The contiguous mutable `z` pencil at `(x, y)`.
+    #[inline]
+    pub fn pencil_mut(&mut self, x: usize, y: usize) -> &mut [T] {
+        let start = self.idx(x, y, 0);
+        let nz = self.dims[2];
+        &mut self.data[start..start + nz]
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Iterate `(x, y, z, value)` in canonical order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, usize, T)> + '_ {
+        let [_, ny, nz] = self.dims;
+        self.data.iter().enumerate().map(move |(i, &v)| {
+            let z = i % nz;
+            let y = (i / nz) % ny;
+            let x = i / (nz * ny);
+            (x, y, z, v)
+        })
+    }
+}
+
+impl Array3<f32> {
+    /// Maximum absolute value (0 for an all-zero array).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// L2 norm of the array.
+    pub fn norm_l2(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Array3<f32>) -> f32 {
+        assert_eq!(self.dims, other.dims, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Exact bitwise equality with `other` (used by schedule-equivalence tests).
+    pub fn bit_equal(&self, other: &Array3<f32>) -> bool {
+        self.dims == other.dims
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Count of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+impl<T: Copy> std::ops::Index<(usize, usize, usize)> for Array3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (x, y, z): (usize, usize, usize)) -> &T {
+        &self.data[(x * self.dims[1] + y) * self.dims[2] + z]
+    }
+}
+
+impl<T: Copy> std::ops::IndexMut<(usize, usize, usize)> for Array3<T> {
+    #[inline]
+    fn index_mut(&mut self, (x, y, z): (usize, usize, usize)) -> &mut T {
+        &mut self.data[(x * self.dims[1] + y) * self.dims[2] + z]
+    }
+}
+
+/// A dense 2-D array with the second axis contiguous.
+///
+/// Used for per-pencil metadata (the paper's `nnz_mask[x][y]`), decomposed
+/// source wavelets (`src_dcmp[t][id]`) and receiver traces (`rec[t][r]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array2<T> {
+    dims: [usize; 2],
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Array2<T> {
+    /// Allocate a default-initialised array.
+    pub fn zeros(n0: usize, n1: usize) -> Self {
+        assert!(n0 > 0 && n1 > 0, "array extents must be non-zero");
+        Array2 {
+            dims: [n0, n1],
+            data: vec![T::default(); n0 * n1],
+        }
+    }
+}
+
+impl<T: Copy> Array2<T> {
+    /// Dimensions `[n0, n1]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 2] {
+        self.dims
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.dims[0] && j < self.dims[1]);
+        self.data[i * self.dims[1] + j]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.dims[0] && j < self.dims[1]);
+        self.data[i * self.dims[1] + j] = v;
+    }
+
+    /// The contiguous row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        let n1 = self.dims[1];
+        &self.data[i * n1..(i + 1) * n1]
+    }
+
+    /// The contiguous mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        let n1 = self.dims[1];
+        &mut self.data[i * n1..(i + 1) * n1]
+    }
+
+    /// Borrow the whole backing slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the whole backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+}
+
+impl<T: Copy> std::ops::Index<(usize, usize)> for Array2<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.dims[1] + j]
+    }
+}
+
+impl<T: Copy> std::ops::IndexMut<(usize, usize)> for Array2<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.dims[1] + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_all_default() {
+        let a: Array3<f32> = Array3::zeros(2, 3, 4);
+        assert_eq!(a.len(), 24);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(a.max_abs(), 0.0);
+        assert_eq!(a.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_linearisation() {
+        let mut a: Array3<f32> = Array3::zeros(3, 4, 5);
+        a.set(1, 2, 3, 7.5);
+        assert_eq!(a.get(1, 2, 3), 7.5);
+        assert_eq!(a[(1, 2, 3)], 7.5);
+        // Row-major, z contiguous.
+        assert_eq!(a.idx(1, 2, 3), (4 + 2) * 5 + 3);
+        assert_eq!(a.stride_x(), 20);
+        assert_eq!(a.stride_y(), 5);
+    }
+
+    #[test]
+    fn pencils_are_contiguous_z() {
+        let mut a: Array3<f32> = Array3::zeros(2, 2, 6);
+        for z in 0..6 {
+            a.set(1, 0, z, z as f32);
+        }
+        let p = a.pencil(1, 0);
+        assert_eq!(p, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        a.pencil_mut(1, 0)[5] = -1.0;
+        assert_eq!(a.get(1, 0, 5), -1.0);
+    }
+
+    #[test]
+    fn iter_indexed_matches_get() {
+        let mut a: Array3<f32> = Array3::zeros(2, 3, 2);
+        for (k, (x, y, z)) in a.shape().iter().collect::<Vec<_>>().iter().enumerate() {
+            a.set(*x, *y, *z, k as f32);
+        }
+        for (x, y, z, v) in a.iter_indexed() {
+            assert_eq!(v, a.get(x, y, z));
+        }
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let mut a: Array3<f32> = Array3::zeros(2, 2, 2);
+        let mut b: Array3<f32> = Array3::zeros(2, 2, 2);
+        a.set(0, 0, 0, 3.0);
+        a.set(1, 1, 1, -4.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.norm_l2() - 5.0).abs() < 1e-12);
+        b.set(0, 0, 0, 3.0);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+        assert!(!a.bit_equal(&b));
+        b.set(1, 1, 1, -4.0);
+        assert!(a.bit_equal(&b));
+    }
+
+    #[test]
+    fn bit_equal_distinguishes_signed_zero() {
+        let mut a: Array3<f32> = Array3::zeros(1, 1, 1);
+        let b: Array3<f32> = Array3::zeros(1, 1, 1);
+        a.set(0, 0, 0, -0.0);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(!a.bit_equal(&b), "bit_equal must see -0.0 != +0.0");
+    }
+
+    #[test]
+    fn full_fills() {
+        let a: Array3<f32> = Array3::full(2, 2, 2, 1.5);
+        assert!(a.as_slice().iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn array2_rows() {
+        let mut a: Array2<i32> = Array2::zeros(3, 4);
+        a.set(2, 1, 9);
+        assert_eq!(a.get(2, 1), 9);
+        assert_eq!(a[(2, 1)], 9);
+        assert_eq!(a.row(2), &[0, 9, 0, 0]);
+        a.row_mut(0)[3] = 7;
+        assert_eq!(a.get(0, 3), 7);
+        assert_eq!(a.dims(), [3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_extent() {
+        let _: Array3<f32> = Array3::zeros(1, 0, 1);
+    }
+
+    #[test]
+    fn fill_resets() {
+        let mut a: Array3<f32> = Array3::full(2, 2, 2, 3.0);
+        a.fill(0.0);
+        assert_eq!(a.max_abs(), 0.0);
+    }
+}

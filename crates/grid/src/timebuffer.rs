@@ -1,0 +1,179 @@
+//! Circular buffers over the time dimension.
+//!
+//! Explicit time stepping keeps only `time_order + 1` wavefield levels alive
+//! (paper Fig. 7: "only two timesteps are kept in memory for time order one
+//! problems"). `TimeBuffer` stores those levels and hands stencil kernels
+//! simultaneous shared borrows of the read levels plus a unique borrow of the
+//! write level, with the aliasing check done once per invocation rather than
+//! per element.
+
+use crate::field::Field;
+use crate::shape::Shape;
+
+/// A circular buffer of [`Field`] time levels.
+///
+/// Logical timestep `t` lives in slot `t % num_levels`. For a second-order-in-
+/// time propagator use 3 levels (`u[t-1]`, `u[t]`, `u[t+1]`); for first-order
+/// (elastic velocity–stress) use 2.
+#[derive(Debug, Clone)]
+pub struct TimeBuffer {
+    levels: Vec<Field>,
+}
+
+impl TimeBuffer {
+    /// Allocate `num_levels` zeroed fields of the given interior shape/halo.
+    pub fn zeros(shape: Shape, halo: usize, num_levels: usize) -> Self {
+        assert!(num_levels >= 2, "a time buffer needs at least two levels");
+        TimeBuffer {
+            levels: (0..num_levels).map(|_| Field::zeros(shape, halo)).collect(),
+        }
+    }
+
+    /// Number of stored time levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Interior shape of each level.
+    pub fn shape(&self) -> Shape {
+        self.levels[0].shape()
+    }
+
+    /// Halo width of each level.
+    pub fn halo(&self) -> usize {
+        self.levels[0].halo()
+    }
+
+    /// Storage slot for logical timestep `t`.
+    #[inline]
+    pub fn slot(&self, t: usize) -> usize {
+        t % self.levels.len()
+    }
+
+    /// Shared borrow of the level holding timestep `t`.
+    #[inline]
+    pub fn level(&self, t: usize) -> &Field {
+        &self.levels[self.slot(t)]
+    }
+
+    /// Unique borrow of the level holding timestep `t`.
+    #[inline]
+    pub fn level_mut(&mut self, t: usize) -> &mut Field {
+        let s = self.slot(t);
+        &mut self.levels[s]
+    }
+
+    /// Borrow `N` read levels and one write level simultaneously.
+    ///
+    /// # Panics
+    /// If any read timestep maps to the same storage slot as the write
+    /// timestep (which would alias a `&` with a `&mut`). Reads may alias each
+    /// other freely.
+    pub fn read_write<const N: usize>(
+        &mut self,
+        reads: [usize; N],
+        write: usize,
+    ) -> ([&Field; N], &mut Field) {
+        let n = self.levels.len();
+        let w = write % n;
+        for &r in &reads {
+            assert_ne!(
+                r % n,
+                w,
+                "read timestep {r} aliases write timestep {write} (buffer of {n} levels)"
+            );
+        }
+        let ptr = self.levels.as_mut_ptr();
+        // SAFETY: every read slot is distinct from the write slot (asserted
+        // above), all slots are in-bounds (`% n`), and the returned borrows
+        // tie to `&mut self`, so no other access can overlap their lifetime.
+        unsafe {
+            let write_ref: &mut Field = &mut *ptr.add(w);
+            let read_refs: [&Field; N] = reads.map(|r| &*(ptr.add(r % n) as *const Field));
+            (read_refs, write_ref)
+        }
+    }
+
+    /// Zero every level.
+    pub fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cycle() {
+        let b = TimeBuffer::zeros(Shape::cube(2), 1, 3);
+        assert_eq!(b.slot(0), 0);
+        assert_eq!(b.slot(1), 1);
+        assert_eq!(b.slot(2), 2);
+        assert_eq!(b.slot(3), 0);
+        assert_eq!(b.slot(7), 1);
+    }
+
+    #[test]
+    fn levels_are_independent() {
+        let mut b = TimeBuffer::zeros(Shape::cube(2), 1, 2);
+        b.level_mut(0).set(0, 0, 0, 1.0);
+        b.level_mut(1).set(0, 0, 0, 2.0);
+        assert_eq!(b.level(0).get(0, 0, 0), 1.0);
+        assert_eq!(b.level(1).get(0, 0, 0), 2.0);
+        // t=2 wraps onto slot 0.
+        assert_eq!(b.level(2).get(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn read_write_disjoint_borrows() {
+        let mut b = TimeBuffer::zeros(Shape::cube(2), 1, 3);
+        b.level_mut(1).set(1, 1, 1, 5.0);
+        b.level_mut(2).set(1, 1, 1, 7.0);
+        let ([um1, u0], u1) = b.read_write([1, 2], 3);
+        assert_eq!(um1.get(1, 1, 1), 5.0);
+        assert_eq!(u0.get(1, 1, 1), 7.0);
+        u1.set(1, 1, 1, um1.get(1, 1, 1) + u0.get(1, 1, 1));
+        assert_eq!(b.level(3).get(1, 1, 1), 12.0);
+        // Slot 0 was the write target for t=3.
+        assert_eq!(b.level(0).get(1, 1, 1), 12.0);
+    }
+
+    #[test]
+    fn read_write_allows_duplicate_reads() {
+        let mut b = TimeBuffer::zeros(Shape::cube(2), 0, 2);
+        b.level_mut(0).set(0, 0, 0, 3.0);
+        let ([a, b2], w) = b.read_write([0, 0], 1);
+        assert_eq!(a.get(0, 0, 0), 3.0);
+        assert_eq!(b2.get(0, 0, 0), 3.0);
+        w.set(0, 0, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases")]
+    fn read_write_rejects_aliasing() {
+        let mut b = TimeBuffer::zeros(Shape::cube(2), 0, 2);
+        let _ = b.read_write([1], 3); // 1 % 2 == 3 % 2
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_level() {
+        let _ = TimeBuffer::zeros(Shape::cube(2), 0, 1);
+    }
+
+    #[test]
+    fn clear_zeroes_all_levels() {
+        let mut b = TimeBuffer::zeros(Shape::cube(2), 1, 3);
+        for t in 0..3 {
+            b.level_mut(t).set(0, 0, 0, 1.0 + t as f32);
+        }
+        b.clear();
+        for t in 0..3 {
+            assert_eq!(b.level(t).interior_max_abs(), 0.0);
+        }
+    }
+}

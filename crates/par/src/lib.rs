@@ -1,0 +1,222 @@
+//! # tempest-par
+//!
+//! Thin data-parallel execution layer for the tempest workspace — the role
+//! OpenMP plays in the paper's generated C code ("OpenMP shared-memory
+//! parallelism with dynamic scheduling", §IV.A).
+//!
+//! Built on [rayon]'s work-stealing pool, with an explicit escape hatch to
+//! force sequential execution: temporal-blocking measurements want a
+//! controlled thread count, and tiny problem sizes (unit tests) should not
+//! pay fork/join overhead.
+//!
+//! The schedules in `tempest-tiling` hand this crate *lists of independent
+//! work items* (space blocks of one timestep, or same-diagonal wave-front
+//! tiles); this crate decides how to run them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+/// Execution policy for a batch of independent work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Run items one after another on the calling thread.
+    Sequential,
+    /// Run items on the global rayon pool (dynamic scheduling).
+    Parallel,
+    /// Parallel if at least this many items, else sequential.
+    Auto {
+        /// Minimum batch size that justifies fork/join overhead.
+        min_items: usize,
+    },
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        // One hardware thread ⇒ parallel dispatch is pure overhead.
+        if available_threads() <= 1 {
+            Policy::Sequential
+        } else {
+            Policy::Auto { min_items: 4 }
+        }
+    }
+}
+
+/// Number of threads the global pool will use.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, under the given policy.
+pub fn for_each<T, F>(policy: Policy, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync + Send,
+{
+    match effective(policy, items.len()) {
+        Policy::Sequential => items.iter().for_each(&f),
+        _ => items.par_iter().for_each(f),
+    }
+}
+
+/// Apply `f` to every index in `0..n`, under the given policy.
+pub fn for_each_index<F>(policy: Policy, n: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    match effective(policy, n) {
+        Policy::Sequential => (0..n).for_each(f),
+        _ => (0..n).into_par_iter().for_each(f),
+    }
+}
+
+/// Apply `f` to disjoint mutable chunks of `data` of length `chunk`.
+///
+/// The per-chunk closure receives `(chunk_index, chunk_slice)`.
+pub fn for_each_chunk_mut<T, F>(policy: Policy, data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    assert!(chunk > 0, "chunk size must be non-zero");
+    let n = data.len().div_ceil(chunk);
+    match effective(policy, n) {
+        Policy::Sequential => data
+            .chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, c)| f(i, c)),
+        _ => data
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, c)| f(i, c)),
+    }
+}
+
+/// Map items and collect results in input order.
+pub fn map_collect<T, U, F>(policy: Policy, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    match effective(policy, items.len()) {
+        Policy::Sequential => items.iter().map(f).collect(),
+        _ => items.par_iter().map(f).collect(),
+    }
+}
+
+fn effective(policy: Policy, n: usize) -> Policy {
+    match policy {
+        Policy::Auto { min_items } => {
+            if n >= min_items && available_threads() > 1 {
+                Policy::Parallel
+            } else {
+                Policy::Sequential
+            }
+        }
+        p => p,
+    }
+}
+
+/// A monotone counter shared across worker threads (progress accounting in
+/// long benchmark sweeps).
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicUsize,
+}
+
+impl Progress {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` completed items; returns the new total.
+    pub fn add(&self, n: usize) -> usize {
+        self.done.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Completed items so far.
+    pub fn get(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_all_items_once() {
+        let items: Vec<u64> = (0..100).collect();
+        for policy in [Policy::Sequential, Policy::Parallel, Policy::default()] {
+            let sum = AtomicU64::new(0);
+            for_each(policy, &items, |&v| {
+                sum.fetch_add(v, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        }
+    }
+
+    #[test]
+    fn for_each_index_covers_range() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        for_each_index(Policy::Parallel, 50, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_cover() {
+        let mut data = vec![0u32; 103];
+        for_each_chunk_mut(Policy::Parallel, &mut data, 10, |i, c| {
+            for v in c.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (k / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<i32> = (0..64).collect();
+        let out = map_collect(Policy::Parallel, &items, |&v| v * v);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as i32) * (i as i32));
+        }
+    }
+
+    #[test]
+    fn auto_policy_small_batch_is_sequential() {
+        assert_eq!(
+            effective(Policy::Auto { min_items: 10 }, 3),
+            Policy::Sequential
+        );
+    }
+
+    #[test]
+    fn progress_accumulates() {
+        let p = Progress::new();
+        assert_eq!(p.add(3), 3);
+        assert_eq!(p.add(4), 7);
+        assert_eq!(p.get(), 7);
+    }
+
+    #[test]
+    fn available_threads_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_rejected() {
+        let mut d = [0u8; 4];
+        for_each_chunk_mut(Policy::Sequential, &mut d, 0, |_, _| {});
+    }
+}

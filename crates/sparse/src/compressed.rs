@@ -1,0 +1,197 @@
+//! Iteration-space compression for fused sparse operators
+//! (paper Listing 5 / Fig. 6).
+//!
+//! The fused `z2` loop of Listing 4 scans the whole `z` pencil even though
+//! `SM`/`SID` are "massively sparse — multiplications by zero are dominant"
+//! (§II.A-5). The compression aggregates the non-zero occurrences along `z`:
+//! `nnz_mask[x][y]` counts them, and the `Sp_SID` volume is trimmed to the
+//! deepest pencil, storing for each `(x, y, k)` the z-index of the k-th
+//! affected point (and, as a direct-access convenience, its ID).
+
+use tempest_grid::{Array2, Array3, Shape};
+
+/// Compressed per-pencil index of affected points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedMask {
+    /// `nnz_mask[x][y]`: number of affected points in the `(x, y)` pencil.
+    pub nnz: Array2<u32>,
+    /// `sp_z[x][y][k]`: z-index of the k-th affected point (padding −1).
+    pub sp_z: Array3<i32>,
+    /// `sp_id[x][y][k]`: unique ID of that point (padding −1). This is the
+    /// value `SID[x, y, sp_z[x][y][k]]` — stored directly so the hot loop
+    /// does one indirection instead of two.
+    pub sp_id: Array3<i32>,
+    /// Depth of the trimmed third axis (`max_k` over all pencils, ≥ 1).
+    pub depth: usize,
+}
+
+impl CompressedMask {
+    /// Build from an ID volume (−1 = unaffected), e.g.
+    /// [`crate::SourcePrecompute::sid`] or [`crate::ReceiverPrecompute::rid`].
+    pub fn build(sid: &Array3<i32>) -> Self {
+        let [nx, ny, nz] = sid.dims();
+        let mut nnz = Array2::zeros(nx, ny);
+        let mut depth = 0usize;
+        for x in 0..nx {
+            for y in 0..ny {
+                let c = sid.pencil(x, y).iter().filter(|&&v| v >= 0).count();
+                nnz.set(x, y, c as u32);
+                depth = depth.max(c);
+            }
+        }
+        let stored = depth.max(1);
+        let mut sp_z = Array3::full(nx, ny, stored, -1i32);
+        let mut sp_id = Array3::full(nx, ny, stored, -1i32);
+        for x in 0..nx {
+            for y in 0..ny {
+                let mut k = 0usize;
+                for z in 0..nz {
+                    let id = sid.get(x, y, z);
+                    if id >= 0 {
+                        sp_z.set(x, y, k, z as i32);
+                        sp_id.set(x, y, k, id);
+                        k += 1;
+                    }
+                }
+            }
+        }
+        CompressedMask {
+            nnz,
+            sp_z,
+            sp_id,
+            depth,
+        }
+    }
+
+    /// Affected `(z, id)` pairs of the `(x, y)` pencil, in ascending z.
+    #[inline]
+    pub fn entries(&self, x: usize, y: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.nnz.get(x, y) as usize;
+        let zs = self.sp_z.pencil(x, y);
+        let ids = self.sp_id.pencil(x, y);
+        (0..n).map(move |k| (zs[k] as usize, ids[k] as usize))
+    }
+
+    /// Number of affected points in the `(x, y)` pencil.
+    #[inline]
+    pub fn count(&self, x: usize, y: usize) -> usize {
+        self.nnz.get(x, y) as usize
+    }
+
+    /// Total affected points across all pencils.
+    pub fn total(&self) -> usize {
+        self.nnz.as_slice().iter().map(|&c| c as usize).sum()
+    }
+
+    /// Iteration-space reduction factor versus the uncompressed Listing-4
+    /// loop: `(nx·ny·nz) / Σ nnz` — "the opportunity to reduce the iteration
+    /// space generally applies to the majority of problems in seismic"
+    /// (§II.A-5). Returns `f64::INFINITY` for an empty mask.
+    pub fn reduction_factor(&self, shape: Shape) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            f64::INFINITY
+        } else {
+            shape.len() as f64 / total as f64
+        }
+    }
+
+    /// Extra memory of the compressed structures, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nnz.len() * 4 + self.sp_z.len() * 4 + self.sp_id.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid_with(points: &[[usize; 3]], shape: Shape) -> Array3<i32> {
+        let mut sid = Array3::full(shape.nx, shape.ny, shape.nz, -1i32);
+        let mut sorted = points.to_vec();
+        sorted.sort_unstable();
+        for (id, &[x, y, z]) in sorted.iter().enumerate() {
+            sid.set(x, y, z, id as i32);
+        }
+        sid
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let s = Shape::cube(8);
+        let sid = sid_with(
+            &[[1, 1, 0], [1, 1, 3], [1, 1, 7], [4, 5, 2]],
+            s,
+        );
+        let c = CompressedMask::build(&sid);
+        assert_eq!(c.count(1, 1), 3);
+        assert_eq!(c.count(4, 5), 1);
+        assert_eq!(c.count(0, 0), 0);
+        assert_eq!(c.depth, 3);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn entries_match_sid_in_order() {
+        let s = Shape::cube(8);
+        let pts = [[2, 3, 1], [2, 3, 5], [2, 3, 6], [7, 0, 0]];
+        let sid = sid_with(&pts, s);
+        let c = CompressedMask::build(&sid);
+        let e: Vec<_> = c.entries(2, 3).collect();
+        assert_eq!(e.len(), 3);
+        // ascending z, ids consistent with the SID volume
+        assert_eq!(e[0].0, 1);
+        assert_eq!(e[1].0, 5);
+        assert_eq!(e[2].0, 6);
+        for &(z, id) in &e {
+            assert_eq!(sid.get(2, 3, z), id as i32);
+        }
+        assert_eq!(c.entries(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn trimmed_depth_saves_memory() {
+        // One affected point in a 32³ grid: Sp_SID stores depth 1 instead
+        // of nz=32 (Fig. 6 "cutting off z-slices where all elements are
+        // zero").
+        let s = Shape::cube(32);
+        let sid = sid_with(&[[10, 11, 12]], s);
+        let c = CompressedMask::build(&sid);
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.sp_z.dims(), [32, 32, 1]);
+        assert!(c.memory_bytes() < 32 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn reduction_factor_large_for_sparse() {
+        let s = Shape::cube(32);
+        let sid = sid_with(&[[1, 2, 3], [4, 5, 6]], s);
+        let c = CompressedMask::build(&sid);
+        let f = c.reduction_factor(s);
+        assert!((f - 32.0f64.powi(3) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mask_is_representable() {
+        let s = Shape::cube(4);
+        let sid = Array3::full(4, 4, 4, -1i32);
+        let c = CompressedMask::build(&sid);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.depth, 0);
+        assert!(c.reduction_factor(s).is_infinite());
+    }
+
+    #[test]
+    fn dense_pencil_roundtrip() {
+        // Every z of one pencil affected — the Fig. 10 "densely located"
+        // extreme where compression stops helping but stays correct.
+        let s = Shape::cube(6);
+        let pts: Vec<[usize; 3]> = (0..6).map(|z| [3, 3, z]).collect();
+        let sid = sid_with(&pts, s);
+        let c = CompressedMask::build(&sid);
+        assert_eq!(c.count(3, 3), 6);
+        assert_eq!(c.depth, 6);
+        let e: Vec<_> = c.entries(3, 3).collect();
+        assert_eq!(e.iter().map(|&(z, _)| z).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+}

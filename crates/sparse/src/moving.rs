@@ -1,0 +1,228 @@
+//! Moving off-the-grid sources (paper §II.A: "We assume that the sources'
+//! coordinates are constant across our models' time-domain though this may
+//! not always be the case. However, Devito's API can support the moving
+//! sources' case, and our algorithm is independent of it.").
+//!
+//! A moving source's trajectory is piecewise constant over *epochs* of
+//! timesteps (marine seismic: the airgun moves between shots; within a shot
+//! record it is static). Each epoch gets its own precomputed grid-aligned
+//! structures; temporal blocking then requires time tiles not to straddle an
+//! epoch boundary — [`MovingSourcePrecompute::max_tile_t`] exposes the
+//! constraint, and per-epoch structures are selected by timestep in O(log E).
+
+use crate::points::SparsePoints;
+use crate::precompute::SourcePrecompute;
+use tempest_grid::{Array2, Domain};
+
+/// One constant-position span of the trajectory.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// First timestep of the epoch (inclusive).
+    pub t_start: usize,
+    /// One past the last timestep (exclusive).
+    pub t_end: usize,
+    /// Precomputed structures valid for `t ∈ [t_start, t_end)`.
+    pub pre: SourcePrecompute,
+}
+
+/// Precomputed injection data for sources that move between epochs.
+#[derive(Debug, Clone)]
+pub struct MovingSourcePrecompute {
+    epochs: Vec<Epoch>,
+    nt: usize,
+}
+
+impl MovingSourcePrecompute {
+    /// Build from a piecewise-constant trajectory: `legs[i]` gives the
+    /// source positions used from timestep `breaks[i]` to `breaks[i+1]`
+    /// (with an implicit final break at `nt`). `wavelets` is the global
+    /// `nt × ns` wavelet matrix.
+    ///
+    /// # Panics
+    /// If `breaks` is empty, does not start at 0, is not strictly
+    /// increasing, or `legs.len() != breaks.len()`.
+    pub fn build(
+        domain: &Domain,
+        legs: &[SparsePoints],
+        breaks: &[usize],
+        wavelets: &Array2<f32>,
+    ) -> Self {
+        assert!(!legs.is_empty(), "need at least one trajectory leg");
+        assert_eq!(legs.len(), breaks.len(), "one break per leg");
+        assert_eq!(breaks[0], 0, "trajectory must start at timestep 0");
+        let nt = wavelets.dims()[0];
+        let mut epochs = Vec::with_capacity(legs.len());
+        for (i, leg) in legs.iter().enumerate() {
+            let t_start = breaks[i];
+            let t_end = if i + 1 < breaks.len() {
+                breaks[i + 1]
+            } else {
+                nt
+            };
+            assert!(t_start < t_end, "epoch {i} is empty or inverted");
+            assert!(t_end <= nt, "epoch {i} extends past nt");
+            // Each epoch's decomposition uses the full wavelet matrix; only
+            // the rows within the epoch are ever read.
+            let pre = SourcePrecompute::build(domain, leg, wavelets);
+            epochs.push(Epoch {
+                t_start,
+                t_end,
+                pre,
+            });
+        }
+        MovingSourcePrecompute { epochs, nt }
+    }
+
+    /// Number of epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Total timesteps covered.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// The epoch active at timestep `t`.
+    pub fn epoch_at(&self, t: usize) -> &Epoch {
+        assert!(t < self.nt, "timestep {t} out of range");
+        let idx = match self
+            .epochs
+            .binary_search_by(|e| e.t_start.cmp(&t))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        &self.epochs[idx]
+    }
+
+    /// Precomputed structures for timestep `t`.
+    pub fn pre_at(&self, t: usize) -> &SourcePrecompute {
+        &self.epoch_at(t).pre
+    }
+
+    /// Largest legal temporal tile height whose tiles never straddle an
+    /// epoch boundary when time tiles start at multiples of the returned
+    /// value (the gcd of all epoch lengths and start offsets).
+    pub fn max_tile_t(&self) -> usize {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut g = 0usize;
+        for e in &self.epochs {
+            g = gcd(g, e.t_start);
+            g = gcd(g, e.t_end);
+        }
+        g.max(1)
+    }
+
+    /// All distinct affected points across the trajectory (diagnostics).
+    pub fn total_affected_points(&self) -> usize {
+        let mut pts: Vec<[usize; 3]> = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.pre.points.iter().copied())
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        pts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::inject_points;
+    use crate::wavelet::{ricker, wavelet_matrix};
+    use tempest_grid::{Field, Shape};
+
+    fn dom() -> Domain {
+        Domain::uniform(Shape::cube(16), 10.0)
+    }
+
+    fn legs(d: &Domain) -> (Vec<SparsePoints>, Vec<usize>) {
+        let l1 = SparsePoints::new(d, vec![[33.0, 44.0, 55.0]]);
+        let l2 = SparsePoints::new(d, vec![[73.0, 44.0, 55.0]]);
+        let l3 = SparsePoints::new(d, vec![[113.0, 44.0, 55.0]]);
+        (vec![l1, l2, l3], vec![0, 4, 8])
+    }
+
+    #[test]
+    fn epoch_selection() {
+        let d = dom();
+        let (l, b) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let m = MovingSourcePrecompute::build(&d, &l, &b, &w);
+        assert_eq!(m.num_epochs(), 3);
+        assert_eq!(m.epoch_at(0).t_start, 0);
+        assert_eq!(m.epoch_at(3).t_start, 0);
+        assert_eq!(m.epoch_at(4).t_start, 4);
+        assert_eq!(m.epoch_at(7).t_start, 4);
+        assert_eq!(m.epoch_at(8).t_start, 8);
+        assert_eq!(m.epoch_at(11).t_end, 12);
+    }
+
+    #[test]
+    fn per_epoch_injection_matches_classic_moving_source() {
+        let d = dom();
+        let (l, b) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let m = MovingSourcePrecompute::build(&d, &l, &b, &w);
+        for t in [0usize, 3, 4, 9, 11] {
+            // Which leg is the source on at step t?
+            let leg = if t < 4 { 0 } else if t < 8 { 1 } else { 2 };
+            let mut classic = Field::zeros(d.shape(), 1);
+            inject_points(&mut classic, &d, &l[leg], &[w.get(t, 0)], |_, _, _| 1.0);
+            let mut fused = Field::zeros(d.shape(), 1);
+            m.pre_at(t)
+                .apply_to_field(&mut fused, t, &d.shape().full_range(), |_, _, _| 1.0);
+            let diff = classic
+                .interior_copy()
+                .max_abs_diff(&fused.interior_copy());
+            assert!(diff < 1e-6, "t={t}: {diff}");
+        }
+    }
+
+    #[test]
+    fn tile_constraint_is_gcd_of_breaks() {
+        let d = dom();
+        let (l, b) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let m = MovingSourcePrecompute::build(&d, &l, &b, &w);
+        // breaks 0,4,8, nt 12 → gcd 4: tiles of height ≤4 aligned at
+        // multiples of 4 never straddle an epoch change.
+        assert_eq!(m.max_tile_t(), 4);
+    }
+
+    #[test]
+    fn affected_points_unioned() {
+        let d = dom();
+        let (l, b) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let m = MovingSourcePrecompute::build(&d, &l, &b, &w);
+        // Three disjoint off-grid positions → 3 × 8 corners.
+        assert_eq!(m.total_affected_points(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at timestep 0")]
+    fn rejects_late_start() {
+        let d = dom();
+        let (l, _) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let _ = MovingSourcePrecompute::build(&d, &l, &[1, 4, 8], &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn rejects_empty_epoch() {
+        let d = dom();
+        let (l, _) = legs(&d);
+        let w = wavelet_matrix(&ricker(20.0, 0.002, 12), 1);
+        let _ = MovingSourcePrecompute::build(&d, &l, &[0, 4, 4], &w);
+    }
+}

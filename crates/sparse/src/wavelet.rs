@@ -1,0 +1,115 @@
+//! Source time signatures.
+//!
+//! Seismic sources are modelled as a point scatterer carrying a band-limited
+//! wavelet; the industry standard (and Devito's default) is the Ricker
+//! wavelet — the negative normalised second derivative of a Gaussian.
+
+use tempest_grid::Array2;
+
+/// Ricker wavelet sampled at `nt` steps of `dt` seconds with peak frequency
+/// `f0` (Hz). The wavelet is delayed by `t0 = 1/f0` so it starts near zero
+/// amplitude but is *non-zero from the first timestep* (the paper's probe
+/// step assumes "wavefields with non-zero values at the first timesteps",
+/// §II.A-1; the Gaussian tail guarantees mathematically non-zero support).
+pub fn ricker(f0: f32, dt: f32, nt: usize) -> Vec<f32> {
+    assert!(f0 > 0.0 && dt > 0.0 && nt > 0);
+    let t0 = 1.0 / f0;
+    (0..nt)
+        .map(|i| {
+            let t = i as f32 * dt - t0;
+            let a = (std::f32::consts::PI * f0 * t).powi(2);
+            (1.0 - 2.0 * a) * (-a).exp()
+        })
+        .collect()
+}
+
+/// Wavelet matrix `src[t][s]` for `ns` sources all firing the same wavelet
+/// (the paper's corner-case experiments scale the *number* of sources, not
+/// their signatures).
+pub fn wavelet_matrix(wavelet: &[f32], ns: usize) -> Array2<f32> {
+    assert!(!wavelet.is_empty() && ns > 0);
+    let mut m = Array2::zeros(wavelet.len(), ns);
+    for (t, &w) in wavelet.iter().enumerate() {
+        m.row_mut(t).fill(w);
+    }
+    m
+}
+
+/// Wavelet matrix with a per-source amplitude scale (distinguishes sources
+/// in correctness tests).
+pub fn wavelet_matrix_scaled(wavelet: &[f32], scales: &[f32]) -> Array2<f32> {
+    assert!(!wavelet.is_empty() && !scales.is_empty());
+    let mut m = Array2::zeros(wavelet.len(), scales.len());
+    for (t, &w) in wavelet.iter().enumerate() {
+        for (s, &a) in scales.iter().enumerate() {
+            m.set(t, s, w * a);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ricker_peak_is_one_at_t0() {
+        let f0 = 10.0;
+        let dt = 0.001;
+        let w = ricker(f0, dt, 400);
+        // Peak at t = t0 = 0.1 s = sample 100.
+        let (imax, &vmax) = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(imax, 100);
+        assert!((vmax - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ricker_zero_mean_like() {
+        // The Ricker wavelet integrates to zero over its support.
+        let w = ricker(10.0, 0.001, 1000);
+        let sum: f32 = w.iter().sum();
+        assert!(sum.abs() < 1e-2, "sum {sum}");
+    }
+
+    #[test]
+    fn ricker_symmetric_about_peak() {
+        let w = ricker(8.0, 0.002, 200);
+        // t0/dt = 62.5, so samples 62/63 (and 60/65) are mirror images
+        // about the peak at t0.
+        assert!((w[62] - w[63]).abs() < 1e-6);
+        assert!((w[60] - w[65]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ricker_first_sample_nonzero() {
+        // §II.A-1: the probe assumes a non-zero wavefield at the first
+        // timestep.
+        let w = ricker(10.0, 0.001, 10);
+        assert!(w[0] != 0.0);
+    }
+
+    #[test]
+    fn wavelet_matrix_broadcasts() {
+        let w = [0.5, -1.0, 0.25];
+        let m = wavelet_matrix(&w, 3);
+        assert_eq!(m.dims(), [3, 3]);
+        for (t, &wt) in w.iter().enumerate() {
+            for s in 0..3 {
+                assert_eq!(m.get(t, s), wt);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_matrix_applies_amplitudes() {
+        let w = vec![1.0, 2.0];
+        let m = wavelet_matrix_scaled(&w, &[1.0, -0.5]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), -0.5);
+        assert_eq!(m.get(1, 1), -1.0);
+    }
+}

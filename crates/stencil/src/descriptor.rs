@@ -1,0 +1,205 @@
+//! Stencil descriptors: explicit offset/weight lists.
+//!
+//! A [`StencilDescriptor`] is the fully expanded form of a stencil — every
+//! `(Δx, Δy, Δz)` offset with its weight. The DSL lowering produces these,
+//! the legality checker in `tempest-tiling` consumes their footprint, and
+//! [`crate::metrics`] derives FLOP counts from them. The hand-optimised
+//! kernels in [`crate::kernels`] are algebraically equal but exploit
+//! symmetry; unit tests cross-check the two.
+
+use crate::coeffs::central_coeffs;
+
+/// An explicit space stencil: `out(p) = Σ_k weight[k] · u(p + offset[k])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilDescriptor {
+    /// Grid offsets `(Δx, Δy, Δz)`.
+    pub offsets: Vec<(i32, i32, i32)>,
+    /// Weight per offset (premultiplied by spacing factors).
+    pub weights: Vec<f32>,
+}
+
+impl StencilDescriptor {
+    /// Build from parallel offset/weight lists.
+    pub fn new(offsets: Vec<(i32, i32, i32)>, weights: Vec<f32>) -> Self {
+        assert_eq!(offsets.len(), weights.len(), "offset/weight length mismatch");
+        StencilDescriptor { offsets, weights }
+    }
+
+    /// The classic star-shaped 3-D Laplacian of the given space order
+    /// (paper Fig. 2 shows the order-6, 19-point instance).
+    pub fn laplacian3d(order: usize, spacing: [f32; 3]) -> Self {
+        let w = central_coeffs(2, order);
+        let r = (order / 2) as i32;
+        let mut offsets = Vec::new();
+        let mut weights = Vec::new();
+        // Combined centre weight over the three axes.
+        let mut center = 0.0f64;
+        for (axis, &h) in spacing.iter().enumerate() {
+            let inv_h2 = 1.0f64 / (h as f64 * h as f64);
+            center += w[r as usize] * inv_h2;
+            for k in 1..=r {
+                let wk = (w[(r + k) as usize] * inv_h2) as f32;
+                let mut off_p = (0, 0, 0);
+                let mut off_m = (0, 0, 0);
+                match axis {
+                    0 => {
+                        off_p.0 = k;
+                        off_m.0 = -k;
+                    }
+                    1 => {
+                        off_p.1 = k;
+                        off_m.1 = -k;
+                    }
+                    _ => {
+                        off_p.2 = k;
+                        off_m.2 = -k;
+                    }
+                }
+                offsets.push(off_p);
+                weights.push(wk);
+                offsets.push(off_m);
+                weights.push(wk);
+            }
+        }
+        offsets.push((0, 0, 0));
+        weights.push(center as f32);
+        StencilDescriptor { offsets, weights }
+    }
+
+    /// Number of points touched.
+    pub fn num_points(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Maximum |offset| over all axes — the stencil radius that determines
+    /// halo width and the wave-front skew slope (paper Fig. 7).
+    pub fn radius(&self) -> usize {
+        self.offsets
+            .iter()
+            .map(|&(a, b, c)| a.abs().max(b.abs()).max(c.abs()) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-axis maximum |offset| (staggered multi-field kernels have
+    /// different reach per axis — Fig. 8b's shifted wavefront angle).
+    pub fn radius_per_axis(&self) -> [usize; 3] {
+        let mut r = [0usize; 3];
+        for &(a, b, c) in &self.offsets {
+            r[0] = r[0].max(a.unsigned_abs() as usize);
+            r[1] = r[1].max(b.unsigned_abs() as usize);
+            r[2] = r[2].max(c.unsigned_abs() as usize);
+        }
+        r
+    }
+
+    /// Multiply–add FLOP count for one application (2 per point: mul + add).
+    pub fn flops(&self) -> usize {
+        2 * self.offsets.len()
+    }
+
+    /// Evaluate the descriptor at `(x, y, z)` of a padded raw slice with the
+    /// given strides (reference implementation — O(points), not vectorised).
+    pub fn apply_at(&self, u: &[f32], i: usize, sx: usize, sy: usize) -> f32 {
+        let mut acc = 0.0f32;
+        for (&(dx, dy, dz), &w) in self.offsets.iter().zip(&self.weights) {
+            let j = (i as isize
+                + dx as isize * sx as isize
+                + dy as isize * sy as isize
+                + dz as isize) as usize;
+            acc += w * u[j];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{laplacian_at, AxisWeights};
+
+    #[test]
+    fn laplacian_point_counts() {
+        // order-2: 7-point star; order-6: 19-point (Fig. 2); order-8: 25.
+        assert_eq!(
+            StencilDescriptor::laplacian3d(2, [1.0; 3]).num_points(),
+            7
+        );
+        assert_eq!(
+            StencilDescriptor::laplacian3d(6, [1.0; 3]).num_points(),
+            19
+        );
+        assert_eq!(
+            StencilDescriptor::laplacian3d(8, [1.0; 3]).num_points(),
+            25
+        );
+    }
+
+    #[test]
+    fn radius_matches_half_order() {
+        for order in [2, 4, 8, 12] {
+            let d = StencilDescriptor::laplacian3d(order, [1.0; 3]);
+            assert_eq!(d.radius(), order / 2);
+            assert_eq!(d.radius_per_axis(), [order / 2; 3]);
+        }
+    }
+
+    #[test]
+    fn descriptor_agrees_with_fast_kernel() {
+        let (nx, ny, nz) = (11, 11, 11);
+        let (sx, sy) = (ny * nz, nz);
+        let h = [2.0f32, 1.0, 0.5];
+        let mut u = vec![0.0f32; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    u[(x * ny + y) * nz + z] =
+                        ((x * 3 + y * 7 + z * 11) % 17) as f32 * 0.25 - 1.0;
+                }
+            }
+        }
+        let order = 8;
+        let d = StencilDescriptor::laplacian3d(order, h);
+        let wx = AxisWeights::second_derivative(order, h[0]);
+        let wy = AxisWeights::second_derivative(order, h[1]);
+        let wz = AxisWeights::second_derivative(order, h[2]);
+        let center = wx.center + wy.center + wz.center;
+        let i = (5 * ny + 5) * nz + 5;
+        let a = d.apply_at(&u, i, sx, sy);
+        let b = laplacian_at(&u, i, sx, sy, center, &wx.side, &wy.side, &wz.side);
+        assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn flops_is_two_per_point() {
+        let d = StencilDescriptor::laplacian3d(4, [1.0; 3]);
+        assert_eq!(d.flops(), 2 * 13);
+    }
+
+    #[test]
+    fn anisotropic_spacing_scales_axis_weights() {
+        let d = StencilDescriptor::laplacian3d(2, [1.0, 1.0, 0.5]);
+        // weight of (0,0,±1) should be 4x the weight of (±1,0,0)
+        let wz = d
+            .offsets
+            .iter()
+            .zip(&d.weights)
+            .find(|(&o, _)| o == (0, 0, 1))
+            .unwrap()
+            .1;
+        let wx = d
+            .offsets
+            .iter()
+            .zip(&d.weights)
+            .find(|(&o, _)| o == (1, 0, 0))
+            .unwrap()
+            .1;
+        assert!((wz / wx - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = StencilDescriptor::new(vec![(0, 0, 0)], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,497 @@
+//! Inner-loop finite-difference building blocks.
+//!
+//! Each function computes one derivative contribution at a single linear
+//! index `i` of a padded field's raw slice, given the axis stride. The `z`
+//! axis has stride 1, so a caller looping `z` over a contiguous pencil gets
+//! unit-stride accesses that LLVM auto-vectorises — this is the "SIMD
+//! vectorization over the z loop" of the paper's Listing 4.
+//!
+//! Weights are *premultiplied* by the `1/hᵏ` spacing factors (see
+//! [`AxisWeights`]), keeping the hot path free of divisions.
+//!
+//! Const-generic `_r` variants take the radius as a compile-time constant so
+//! the weight loop fully unrolls; the propagators in `tempest-core`
+//! monomorphise them for the paper's space orders 4, 8 and 12 (radii 2, 4, 6).
+
+use crate::coeffs::{central_coeffs_symmetric, central_first_antisymmetric, staggered_coeffs};
+
+/// Premultiplied second-derivative weights along one axis.
+///
+/// `value = center·u[i] + Σ_k side[k−1]·(u[i+k·s] + u[i−k·s])`, already
+/// scaled by `1/h²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisWeights {
+    /// Centre-point weight (scaled by `1/h²`).
+    pub center: f32,
+    /// Symmetric side weights; `side[k-1]` multiplies `u(+k) + u(−k)`.
+    pub side: Vec<f32>,
+}
+
+impl AxisWeights {
+    /// Second-derivative weights of the given (even) space order for grid
+    /// spacing `h`.
+    pub fn second_derivative(order: usize, h: f32) -> Self {
+        let (c, side) = central_coeffs_symmetric(order);
+        let inv_h2 = 1.0 / (h as f64 * h as f64);
+        AxisWeights {
+            center: (c * inv_h2) as f32,
+            side: side.iter().map(|&w| (w * inv_h2) as f32).collect(),
+        }
+    }
+
+    /// Stencil radius along this axis.
+    pub fn radius(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Side weights as a fixed-size array (for the const-generic kernels).
+    ///
+    /// # Panics
+    /// If `R` does not equal the runtime radius.
+    pub fn side_array<const R: usize>(&self) -> [f32; R] {
+        assert_eq!(self.side.len(), R, "radius mismatch");
+        let mut a = [0.0f32; R];
+        a.copy_from_slice(&self.side);
+        a
+    }
+}
+
+/// Premultiplied antisymmetric first-derivative weights along one axis:
+/// `value = Σ_k w[k−1]·(u[i+k·s] − u[i−k·s])`, scaled by `1/h`.
+pub fn first_derivative_weights(order: usize, h: f32) -> Vec<f32> {
+    central_first_antisymmetric(order)
+        .iter()
+        .map(|&w| (w / h as f64) as f32)
+        .collect()
+}
+
+/// Premultiplied staggered first-derivative weights:
+/// forward `value = Σ_k w[k]·(u[i+(k+1)·s] − u[i−k·s])` evaluates the
+/// derivative at `i + ½`, scaled by `1/h`.
+pub fn staggered_weights(order: usize, h: f32) -> Vec<f32> {
+    staggered_coeffs(order)
+        .iter()
+        .map(|&w| (w / h as f64) as f32)
+        .collect()
+}
+
+/// Second derivative along one axis at linear index `i` with stride `s`.
+#[inline(always)]
+pub fn second_diff_axis(u: &[f32], i: usize, s: usize, w: &AxisWeights) -> f32 {
+    let mut acc = w.center * u[i];
+    for (k, &wk) in w.side.iter().enumerate() {
+        let o = (k + 1) * s;
+        acc += wk * (u[i + o] + u[i - o]);
+    }
+    acc
+}
+
+/// Second derivative along one axis, compile-time radius (`center` is the
+/// axis centre weight; `side[k]` multiplies `u(+k+1) + u(−k−1)`).
+#[inline(always)]
+pub fn second_diff_axis_r<const R: usize>(
+    u: &[f32],
+    i: usize,
+    s: usize,
+    center: f32,
+    side: &[f32; R],
+) -> f32 {
+    let mut acc = center * u[i];
+    let mut k = 0;
+    while k < R {
+        let o = (k + 1) * s;
+        acc += side[k] * (u[i + o] + u[i - o]);
+        k += 1;
+    }
+    acc
+}
+
+/// 3-D Laplacian at linear index `i` (strides `sx`, `sy`, `sz = 1`).
+///
+/// `center` must be the *combined* centre weight `cx + cy + cz`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn laplacian_at(
+    u: &[f32],
+    i: usize,
+    sx: usize,
+    sy: usize,
+    center: f32,
+    wx: &[f32],
+    wy: &[f32],
+    wz: &[f32],
+) -> f32 {
+    let mut acc = center * u[i];
+    for (k, &w) in wx.iter().enumerate() {
+        let o = (k + 1) * sx;
+        acc += w * (u[i + o] + u[i - o]);
+    }
+    for (k, &w) in wy.iter().enumerate() {
+        let o = (k + 1) * sy;
+        acc += w * (u[i + o] + u[i - o]);
+    }
+    for (k, &w) in wz.iter().enumerate() {
+        let o = k + 1;
+        acc += w * (u[i + o] + u[i - o]);
+    }
+    acc
+}
+
+/// 3-D Laplacian with compile-time radius `R` (fully unrolled weight loops).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn laplacian_at_r<const R: usize>(
+    u: &[f32],
+    i: usize,
+    sx: usize,
+    sy: usize,
+    center: f32,
+    wx: &[f32; R],
+    wy: &[f32; R],
+    wz: &[f32; R],
+) -> f32 {
+    let mut acc = center * u[i];
+    let mut k = 0;
+    while k < R {
+        let o = (k + 1) * sx;
+        acc += wx[k] * (u[i + o] + u[i - o]);
+        k += 1;
+    }
+    k = 0;
+    while k < R {
+        let o = (k + 1) * sy;
+        acc += wy[k] * (u[i + o] + u[i - o]);
+        k += 1;
+    }
+    k = 0;
+    while k < R {
+        let o = k + 1;
+        acc += wz[k] * (u[i + o] + u[i - o]);
+        k += 1;
+    }
+    acc
+}
+
+/// Centred first derivative along one axis (antisymmetric weights).
+#[inline(always)]
+pub fn first_diff_axis(u: &[f32], i: usize, s: usize, w: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (k, &wk) in w.iter().enumerate() {
+        let o = (k + 1) * s;
+        acc += wk * (u[i + o] - u[i - o]);
+    }
+    acc
+}
+
+/// Centred first derivative, compile-time radius.
+#[inline(always)]
+pub fn first_diff_axis_r<const R: usize>(u: &[f32], i: usize, s: usize, w: &[f32; R]) -> f32 {
+    let mut acc = 0.0f32;
+    let mut k = 0;
+    while k < R {
+        let o = (k + 1) * s;
+        acc += w[k] * (u[i + o] - u[i - o]);
+        k += 1;
+    }
+    acc
+}
+
+/// Mixed second derivative `∂²/∂a∂b` at linear index `i` from the
+/// composition of two centred first derivatives (strides `s1`, `s2`,
+/// antisymmetric weights `w1`, `w2`). Used by the rotated TTI Laplacian
+/// (paper Eq. 2), whose cross terms "increase the operation count
+/// drastically": the footprint is the `(2r)²`-point outer product of the
+/// two first-derivative stencils.
+#[inline(always)]
+pub fn cross_diff(u: &[f32], i: usize, s1: usize, s2: usize, w1: &[f32], w2: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (j, &wj) in w1.iter().enumerate() {
+        let o1 = (j + 1) * s1;
+        let mut inner = 0.0f32;
+        for (k, &wk) in w2.iter().enumerate() {
+            let o2 = (k + 1) * s2;
+            inner += wk * ((u[i + o1 + o2] + u[i - o1 - o2]) - (u[i + o1 - o2] + u[i - o1 + o2]));
+        }
+        acc += wj * inner;
+    }
+    acc
+}
+
+/// Mixed second derivative, compile-time radius.
+#[inline(always)]
+pub fn cross_diff_r<const R: usize>(
+    u: &[f32],
+    i: usize,
+    s1: usize,
+    s2: usize,
+    w1: &[f32; R],
+    w2: &[f32; R],
+) -> f32 {
+    let mut acc = 0.0f32;
+    let mut j = 0;
+    while j < R {
+        let o1 = (j + 1) * s1;
+        let mut inner = 0.0f32;
+        let mut k = 0;
+        while k < R {
+            let o2 = (k + 1) * s2;
+            inner +=
+                w2[k] * ((u[i + o1 + o2] + u[i - o1 - o2]) - (u[i + o1 - o2] + u[i - o1 + o2]));
+            k += 1;
+        }
+        acc += w1[j] * inner;
+        j += 1;
+    }
+    acc
+}
+
+/// Staggered first derivative evaluated at `i + ½` (forward).
+#[inline(always)]
+pub fn staggered_diff_fwd(u: &[f32], i: usize, s: usize, w: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (k, &wk) in w.iter().enumerate() {
+        acc += wk * (u[i + (k + 1) * s] - u[i - k * s]);
+    }
+    acc
+}
+
+/// Staggered first derivative evaluated at `i − ½` (backward).
+#[inline(always)]
+pub fn staggered_diff_bwd(u: &[f32], i: usize, s: usize, w: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (k, &wk) in w.iter().enumerate() {
+        acc += wk * (u[i + k * s] - u[i - (k + 1) * s]);
+    }
+    acc
+}
+
+/// Staggered forward derivative, compile-time radius.
+#[inline(always)]
+pub fn staggered_diff_fwd_r<const R: usize>(u: &[f32], i: usize, s: usize, w: &[f32; R]) -> f32 {
+    let mut acc = 0.0f32;
+    let mut k = 0;
+    while k < R {
+        acc += w[k] * (u[i + (k + 1) * s] - u[i - k * s]);
+        k += 1;
+    }
+    acc
+}
+
+/// Staggered backward derivative, compile-time radius.
+#[inline(always)]
+pub fn staggered_diff_bwd_r<const R: usize>(u: &[f32], i: usize, s: usize, w: &[f32; R]) -> f32 {
+    let mut acc = 0.0f32;
+    let mut k = 0;
+    while k < R {
+        acc += w[k] * (u[i + k * s] - u[i - (k + 1) * s]);
+        k += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sample a function on a 1-D line embedded in a padded slice and return
+    /// (slice, center index).
+    fn line(f: impl Fn(f64) -> f64, n: usize, h: f64) -> (Vec<f32>, usize) {
+        let u: Vec<f32> = (0..n).map(|k| f(k as f64 * h) as f32).collect();
+        (u, n / 2)
+    }
+
+    #[test]
+    fn second_diff_quadratic_exact() {
+        // u = x² ⇒ u'' = 2 everywhere, exactly representable at any order.
+        let h = 0.5;
+        let (u, c) = line(|x| x * x, 33, h);
+        for order in [2, 4, 8, 12] {
+            let w = AxisWeights::second_derivative(order, h as f32);
+            let v = second_diff_axis(&u, c, 1, &w);
+            assert!((v - 2.0).abs() < 1e-3, "order {order}: {v}");
+        }
+    }
+
+    #[test]
+    fn second_diff_convergence_with_order() {
+        // u = sin(x): higher order must be more accurate at fixed h.
+        let h = 0.2;
+        let (u, c) = line(|x| x.sin(), 65, h);
+        let x0 = (c as f64) * h;
+        let exact = -(x0.sin()) as f32;
+        let mut last_err = f32::INFINITY;
+        for order in [2, 4, 8] {
+            let w = AxisWeights::second_derivative(order, h as f32);
+            let err = (second_diff_axis(&u, c, 1, &w) - exact).abs();
+            assert!(err < last_err, "order {order} err {err} !< {last_err}");
+            last_err = err;
+        }
+        assert!(last_err < 1e-5);
+    }
+
+    #[test]
+    fn laplacian_matches_sum_of_axes() {
+        // 3-D field on a small padded grid, compare composed vs per-axis.
+        let (nx, ny, nz) = (9, 9, 9);
+        let sx = ny * nz;
+        let sy = nz;
+        let h = 1.0f32;
+        let mut u = vec![0.0f32; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    u[(x * ny + y) * nz + z] =
+                        (x as f32).powi(2) * 0.3 + (y as f32).powi(2) * 0.5 + (z as f32).powi(2);
+                }
+            }
+        }
+        let w = AxisWeights::second_derivative(4, h);
+        let i = (4 * ny + 4) * nz + 4;
+        let lx = second_diff_axis(&u, i, sx, &w);
+        let ly = second_diff_axis(&u, i, sy, &w);
+        let lz = second_diff_axis(&u, i, 1, &w);
+        let lap = laplacian_at(&u, i, sx, sy, 3.0 * w.center, &w.side, &w.side, &w.side);
+        assert!((lap - (lx + ly + lz)).abs() < 1e-4);
+        // Analytic: 2(0.3 + 0.5 + 1.0) = 3.6
+        assert!((lap - 3.6).abs() < 1e-3, "{lap}");
+    }
+
+    #[test]
+    fn const_generic_matches_dynamic() {
+        let (u, c) = line(|x| (0.7 * x).cos() + x * x * 0.1, 65, 0.25);
+        let w = AxisWeights::second_derivative(8, 0.25);
+        let arr: [f32; 4] = w.side_array();
+        let a = laplacian_at(&u, c, 8, 4, 3.0 * w.center, &w.side, &w.side, &w.side);
+        let b = laplacian_at_r::<4>(&u, c, 8, 4, 3.0 * w.center, &arr, &arr, &arr);
+        assert_eq!(a.to_bits(), b.to_bits(), "must be the same computation");
+        let f1 = first_derivative_weights(8, 0.25);
+        let f1a: [f32; 4] = f1.clone().try_into().unwrap();
+        assert_eq!(
+            first_diff_axis(&u, c, 1, &f1).to_bits(),
+            first_diff_axis_r::<4>(&u, c, 1, &f1a).to_bits()
+        );
+        let sw = staggered_weights(8, 0.25);
+        let swa: [f32; 4] = sw.clone().try_into().unwrap();
+        assert_eq!(
+            staggered_diff_fwd(&u, c, 1, &sw).to_bits(),
+            staggered_diff_fwd_r::<4>(&u, c, 1, &swa).to_bits()
+        );
+        assert_eq!(
+            staggered_diff_bwd(&u, c, 1, &sw).to_bits(),
+            staggered_diff_bwd_r::<4>(&u, c, 1, &swa).to_bits()
+        );
+    }
+
+    #[test]
+    fn cross_diff_exact_on_product() {
+        // f(x, y) = x·y embedded in a 3-D grid ⇒ ∂²f/∂x∂y = 1 exactly.
+        let (nx, ny, nz) = (17, 17, 3);
+        let (sx, sy) = (ny * nz, nz);
+        let h = 0.5f32;
+        let mut u = vec![0.0f32; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    u[(x * ny + y) * nz + z] = (x as f32 * h) * (y as f32 * h);
+                }
+            }
+        }
+        let i = (8 * ny + 8) * nz + 1;
+        for order in [2, 4, 8] {
+            let w = first_derivative_weights(order, h);
+            let v = cross_diff(&u, i, sx, sy, &w, &w);
+            assert!((v - 1.0).abs() < 1e-4, "order {order}: {v}");
+        }
+    }
+
+    #[test]
+    fn cross_diff_const_generic_matches_dynamic() {
+        let (nx, ny, nz) = (17, 17, 17);
+        let (sx, sy) = (ny * nz, nz);
+        let mut u = vec![0.0f32; nx * ny * nz];
+        for (k, v) in u.iter_mut().enumerate() {
+            *v = ((k * 37) % 101) as f32 * 0.03 - 1.5;
+        }
+        let w = first_derivative_weights(8, 0.7);
+        let wa: [f32; 4] = w.clone().try_into().unwrap();
+        let i = (8 * ny + 8) * nz + 8;
+        assert_eq!(
+            cross_diff(&u, i, sx, 1, &w, &w).to_bits(),
+            cross_diff_r::<4>(&u, i, sx, 1, &wa, &wa).to_bits()
+        );
+        assert_eq!(
+            cross_diff(&u, i, sy, 1, &w, &w).to_bits(),
+            cross_diff_r::<4>(&u, i, sy, 1, &wa, &wa).to_bits()
+        );
+    }
+
+    #[test]
+    fn cross_diff_vanishes_on_separable_quadratic() {
+        // f = x² + y²: all mixed derivatives are zero.
+        let (nx, ny, nz) = (17, 17, 3);
+        let (sx, sy) = (ny * nz, nz);
+        let mut u = vec![0.0f32; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    u[(x * ny + y) * nz + z] = (x * x + y * y) as f32;
+                }
+            }
+        }
+        let w = first_derivative_weights(4, 1.0);
+        let i = (8 * ny + 8) * nz + 1;
+        assert!(cross_diff(&u, i, sx, sy, &w, &w).abs() < 1e-4);
+    }
+
+    #[test]
+    fn first_diff_linear_exact() {
+        let h = 0.3;
+        let (u, c) = line(|x| 3.0 * x + 1.0, 33, h);
+        for order in [2, 4, 8, 12] {
+            let w = first_derivative_weights(order, h as f32);
+            let v = first_diff_axis(&u, c, 1, &w);
+            assert!((v - 3.0).abs() < 1e-3, "order {order}: {v}");
+        }
+    }
+
+    #[test]
+    fn staggered_fwd_bwd_relationship() {
+        // For u = x, both staggered derivatives are exactly 1.
+        let h = 0.5;
+        let (u, c) = line(|x| x, 33, h);
+        for order in [2, 4, 8] {
+            let w = staggered_weights(order, h as f32);
+            let f = staggered_diff_fwd(&u, c, 1, &w);
+            let b = staggered_diff_bwd(&u, c, 1, &w);
+            assert!((f - 1.0).abs() < 1e-4, "fwd {f}");
+            assert!((b - 1.0).abs() < 1e-4, "bwd {b}");
+        }
+    }
+
+    #[test]
+    fn staggered_bwd_is_shifted_fwd() {
+        let (u, c) = line(|x| (x * 0.3).sin(), 65, 0.25);
+        let w = staggered_weights(4, 0.25);
+        // derivative at c − ½ computed backward from c equals forward from c−1.
+        let b = staggered_diff_bwd(&u, c, 1, &w);
+        let f = staggered_diff_fwd(&u, c - 1, 1, &w);
+        assert!((b - f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_scale_with_spacing() {
+        let w1 = AxisWeights::second_derivative(4, 1.0);
+        let w2 = AxisWeights::second_derivative(4, 2.0);
+        assert!((w1.center / w2.center - 4.0).abs() < 1e-5);
+        let f1 = first_derivative_weights(4, 1.0);
+        let f2 = first_derivative_weights(4, 2.0);
+        assert!((f1[0] / f2[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius mismatch")]
+    fn side_array_checks_radius() {
+        let w = AxisWeights::second_derivative(4, 1.0);
+        let _: [f32; 3] = w.side_array();
+    }
+}

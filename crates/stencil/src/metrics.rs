@@ -1,0 +1,182 @@
+//! Kernel cost models: FLOPs, bytes, arithmetic intensity.
+//!
+//! The paper's Fig. 11 places each kernel on a cache-aware roofline. We
+//! reproduce the model analytically: FLOPs per point-update come from the
+//! stencil structure; bytes per point-update come from a traffic model with
+//! two limits — *no-reuse* (every stencil read misses) and *perfect-reuse*
+//! (each array element is loaded once per sweep, the streaming lower bound
+//! that spatial blocking approaches and temporal blocking beats by a factor
+//! of the time-tile height).
+
+/// Cost of one point-update of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations per point-update.
+    pub flops: f64,
+    /// Bytes moved per point-update with *no* cache reuse.
+    pub bytes_no_reuse: f64,
+    /// Bytes moved per point-update with perfect spatial reuse
+    /// (compulsory/streaming traffic only).
+    pub bytes_streaming: f64,
+}
+
+impl KernelCost {
+    /// Arithmetic intensity (FLOP/byte) in the streaming limit.
+    pub fn ai_streaming(&self) -> f64 {
+        self.flops / self.bytes_streaming
+    }
+
+    /// Arithmetic intensity in the no-reuse limit.
+    pub fn ai_no_reuse(&self) -> f64 {
+        self.flops / self.bytes_no_reuse
+    }
+
+    /// Effective streaming bytes when a temporal tile of height `tt` keeps
+    /// wavefields cache-resident across `tt` timesteps: the read-back of the
+    /// previous level and the write-allocate traffic amortise over the tile.
+    pub fn bytes_streaming_temporal(&self, tt: usize) -> f64 {
+        assert!(tt >= 1);
+        // Compulsory traffic per sweep divided by the reuse factor; parameter
+        // fields still stream once per sweep, which we fold into the same
+        // bound — this is the first-order model the paper's roofline uses.
+        self.bytes_streaming / tt as f64
+    }
+}
+
+/// FLOPs of a symmetric star Laplacian contribution of radius `r`:
+/// per axis: `r` (pair adds) + `r` muls + `r` accumulate adds, plus the
+/// centre multiply–add.
+pub fn laplacian_flops(r: usize) -> f64 {
+    (3 * 3 * r + 2) as f64
+}
+
+/// FLOPs of an antisymmetric first-derivative contribution of radius `r`.
+pub fn first_diff_flops(r: usize) -> f64 {
+    (3 * r) as f64
+}
+
+/// Cost of the isotropic acoustic update (paper §III-A) at space order `so`.
+///
+/// Update: `u⁺ = damp-combined(2u − u⁻ + dt²/m·(Δu + src))`.
+pub fn acoustic_cost(so: usize) -> KernelCost {
+    let r = so / 2;
+    // Laplacian + 2nd-order time update (~8 flops: 2u - um1, mul dt²/m,
+    // damping multiply-adds).
+    let flops = laplacian_flops(r) + 8.0;
+    let f = 4.0; // sizeof f32
+    // Reads: u (2r+1 per axis but streaming = 1), u⁻, m, damp; write u⁺
+    // (+ write-allocate read).
+    let bytes_streaming = f * (1.0 + 1.0 + 1.0 + 1.0 + 2.0);
+    let bytes_no_reuse = f * ((6 * r + 1) as f64 + 1.0 + 1.0 + 1.0 + 2.0);
+    KernelCost {
+        flops,
+        bytes_no_reuse,
+        bytes_streaming,
+    }
+}
+
+/// Cost of the TTI pseudo-acoustic update (paper §III-B) at space order `so`.
+///
+/// Two coupled fields, rotated Laplacians built from cascaded first
+/// derivatives with per-point trigonometric coefficient combinations —
+/// the operation count grows steeply ("increases the operation count
+/// drastically", §III-B).
+pub fn tti_cost(so: usize) -> KernelCost {
+    let r = so / 2;
+    // Per field: 3 first-derivative cascades in rotated frame (9 first
+    // diffs) + rotation algebra (~30 flops) + time update (~10).
+    let per_field = 9.0 * first_diff_flops(r) + 30.0 + 10.0;
+    let flops = 2.0 * per_field;
+    let f = 4.0;
+    // Streams: p, p⁻, q, q⁻ reads; p⁺, q⁺ writes (+allocate); m, ε, δ, θ, φ,
+    // damp parameter streams.
+    let bytes_streaming = f * (4.0 + 4.0 + 6.0);
+    let bytes_no_reuse = f * (2.0 * (6 * r + 1) as f64 + 2.0 + 4.0 + 6.0);
+    KernelCost {
+        flops,
+        bytes_no_reuse,
+        bytes_streaming,
+    }
+}
+
+/// Cost of the elastic velocity–stress update (paper §III-C) at space
+/// order `so`, averaged per grid point over the 9 coupled fields.
+pub fn elastic_cost(so: usize) -> KernelCost {
+    let r = so / 2;
+    // v update: 3 components × 3 staggered diffs; τ update: 6 components
+    // built from 9 velocity derivatives + Lamé algebra.
+    let flops = 9.0 * first_diff_flops(r) + 9.0 * first_diff_flops(r) + 40.0;
+    let f = 4.0;
+    // 9 wavefields read+written (write-allocate), 3 parameter streams.
+    let bytes_streaming = f * (9.0 * 3.0 + 3.0);
+    let bytes_no_reuse = f * (9.0 * (2 * r + 2) as f64 + 3.0);
+    KernelCost {
+        flops,
+        bytes_no_reuse,
+        bytes_streaming,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acoustic_ai_grows_with_order() {
+        let a4 = acoustic_cost(4);
+        let a8 = acoustic_cost(8);
+        let a12 = acoustic_cost(12);
+        assert!(a4.ai_streaming() < a8.ai_streaming());
+        assert!(a8.ai_streaming() < a12.ai_streaming());
+    }
+
+    #[test]
+    fn streaming_bound_is_below_no_reuse() {
+        for so in [4, 8, 12] {
+            for c in [acoustic_cost(so), tti_cost(so), elastic_cost(so)] {
+                assert!(c.bytes_streaming < c.bytes_no_reuse);
+                assert!(c.ai_streaming() > c.ai_no_reuse());
+            }
+        }
+    }
+
+    #[test]
+    fn tti_is_compute_heavier_than_acoustic() {
+        // §III-B: the rotated Laplacian "increases the operation count
+        // drastically".
+        for so in [4, 8, 12] {
+            assert!(tti_cost(so).flops > 2.0 * acoustic_cost(so).flops);
+        }
+    }
+
+    #[test]
+    fn elastic_moves_most_data() {
+        // §III-C: "increases the data movement drastically (one or two
+        // versus nine state parameters)".
+        for so in [4, 8, 12] {
+            assert!(elastic_cost(so).bytes_streaming > 3.0 * acoustic_cost(so).bytes_streaming);
+        }
+    }
+
+    #[test]
+    fn temporal_reuse_divides_traffic() {
+        let c = acoustic_cost(8);
+        let b1 = c.bytes_streaming_temporal(1);
+        let b4 = c.bytes_streaming_temporal(4);
+        assert_eq!(b1, c.bytes_streaming);
+        assert!((b4 - c.bytes_streaming / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acoustic_low_ai_is_memory_bound_regime() {
+        // The discretised acoustic equation is "generally memory-bound"
+        // (§III-A): AI below ~10 flop/byte even in the streaming limit.
+        assert!(acoustic_cost(4).ai_streaming() < 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn temporal_reuse_requires_positive_tile() {
+        let _ = acoustic_cost(4).bytes_streaming_temporal(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # tempest-tiling
+//!
+//! Loop-schedule engine: how the space-time iteration domain of an explicit
+//! stencil propagator is traversed.
+//!
+//! The paper contrasts two schedules (§I.A, Fig. 4):
+//!
+//! * **Spatial blocking** ([`spaceblock`]): each timestep sweeps the whole
+//!   grid, decomposed into cache-sized `(block_x, block_y)` × full-`z`
+//!   blocks that may run in parallel. Sparse operators can run between
+//!   timesteps — no dependency hazards (Fig. 4a). This is the
+//!   highly-optimised baseline the paper compares against.
+//!
+//! * **Wave-front temporal blocking** ([`wavefront`], §II.B): the space-time
+//!   domain splits into parallelogram tiles of `tile_t` timesteps skewed by
+//!   the dependency radius per step; inside a tile, slabs advance through
+//!   time while their working set is cache-resident. Applying off-grid
+//!   sparse operators naively under this schedule is *incorrect* (Fig. 4b) —
+//!   the precomputation scheme in `tempest-sparse` is what makes it legal.
+//!
+//! Both schedules drive an abstract *step function* `step(vt, region)`:
+//! "compute virtual timestep `vt` for `region`". Multi-phase propagators
+//! (elastic velocity–stress updates two field groups per timestep, the
+//! second reading same-timestep values of the first — Fig. 8b) map each
+//! phase to its own virtual step, which automatically widens the skew.
+//!
+//! [`legality`] provides a dependency checker that validates any schedule
+//! against the stencil's radius and the circular time-buffer depth, and
+//! [`autotune()`](autotune()) sweeps tile/block shapes (§IV.C, Table I).
+
+pub mod autotune;
+pub mod legality;
+pub mod spaceblock;
+pub mod wavefront;
+
+pub use autotune::{autotune, Candidate, TuneResult};
+pub use spaceblock::SpaceBlockSpec;
+pub use wavefront::{Slab, WavefrontSpec};

@@ -1,0 +1,296 @@
+//! Wave-front temporal blocking (paper §II.B, Figs. 7–8).
+//!
+//! The space-time iteration domain `(vt, x, y)` (the contiguous `z` axis is
+//! never tiled — it stays whole for SIMD, Listing 4) is split into
+//! parallelogram tiles:
+//!
+//! * `(tile_x, tile_y)` spatial tile extents (Table I's `tile_x, tile_y`),
+//! * `tile_t` *virtual* timesteps of temporal height,
+//! * a skew of `skew` points per virtual step — the wave-front angle. It
+//!   must be at least the stencil's dependency radius ("the stencil radius
+//!   affects the wavefront angle; the angle gets steeper with a higher
+//!   stencil radius", Fig. 7). Multi-phase (staggered) propagators express
+//!   each intra-timestep phase as its own virtual step, which widens the
+//!   effective angle exactly as Fig. 8b prescribes.
+//!
+//! Execution order: time tiles are outermost and sequential; inside a time
+//! tile, spatial tiles run in lexicographic `(xt, yt)` order; inside a tile,
+//! virtual time ascends and each slab (the tile cross-section at one `vt`,
+//! shifted left by `skew·Δt`) is decomposed into `(block_x, block_y)` blocks
+//! that may run in parallel. Legality for any `skew ≥ radius` and circular
+//! buffers of ≥ 2 levels is established by the checker in
+//! [`crate::legality`] and by bitwise-equivalence tests against the
+//! spatially blocked schedule in `tempest-core`.
+
+use tempest_grid::{Range3, Shape};
+use tempest_par::Policy;
+
+/// Parameters of the wave-front temporally blocked schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WavefrontSpec {
+    /// Spatial tile extent along x.
+    pub tile_x: usize,
+    /// Spatial tile extent along y.
+    pub tile_y: usize,
+    /// Temporal tile height, in virtual steps.
+    pub tile_t: usize,
+    /// Wave-front skew per virtual step (≥ max dependency radius).
+    pub skew: usize,
+    /// Intra-slab block extent along x.
+    pub block_x: usize,
+    /// Intra-slab block extent along y.
+    pub block_y: usize,
+}
+
+impl WavefrontSpec {
+    /// Create a spec; all extents must be non-zero (skew may be zero only
+    /// for radius-0 pointwise updates).
+    pub fn new(
+        tile_x: usize,
+        tile_y: usize,
+        tile_t: usize,
+        skew: usize,
+        block_x: usize,
+        block_y: usize,
+    ) -> Self {
+        assert!(
+            tile_x > 0 && tile_y > 0 && tile_t > 0 && block_x > 0 && block_y > 0,
+            "tile/block extents must be non-zero"
+        );
+        WavefrontSpec {
+            tile_x,
+            tile_y,
+            tile_t,
+            skew,
+            block_x,
+            block_y,
+        }
+    }
+
+    /// Pure time-skewing (Wonnacott-style): a single spatial tile covering
+    /// the whole skewed domain, so only the wave-front angle reorders the
+    /// iteration space. Useful as an ablation against proper tiling.
+    pub fn skewed_only(shape: Shape, tile_t: usize, skew: usize, block_x: usize, block_y: usize) -> Self {
+        let tile_x = shape.nx + (tile_t.saturating_sub(1)) * skew;
+        let tile_y = shape.ny + (tile_t.saturating_sub(1)) * skew;
+        WavefrontSpec::new(tile_x.max(1), tile_y.max(1), tile_t, skew, block_x, block_y)
+    }
+
+    /// Number of spatial tiles along x needed to cover the skewed domain.
+    pub fn tiles_x(&self, nx: usize) -> usize {
+        (nx + (self.tile_t - 1) * self.skew).div_ceil(self.tile_x)
+    }
+
+    /// Number of spatial tiles along y needed to cover the skewed domain.
+    pub fn tiles_y(&self, ny: usize) -> usize {
+        (ny + (self.tile_t - 1) * self.skew).div_ceil(self.tile_y)
+    }
+}
+
+/// One wave-front slab: the cross-section of a space-time tile at a single
+/// virtual step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// Virtual timestep this slab advances.
+    pub vt: usize,
+    /// The grid region (full z).
+    pub range: Range3,
+}
+
+/// Visit every slab in the exact sequential execution order.
+pub fn for_each_slab<F>(shape: Shape, nvt: usize, spec: &WavefrontSpec, mut f: F)
+where
+    F: FnMut(Slab),
+{
+    let ntx = spec.tiles_x(shape.nx);
+    let nty = spec.tiles_y(shape.ny);
+    let mut t0 = 0usize;
+    while t0 < nvt {
+        let t1 = (t0 + spec.tile_t).min(nvt);
+        for xt in 0..ntx {
+            for yt in 0..nty {
+                for vt in t0..t1 {
+                    let dt = vt - t0;
+                    let off = (dt * spec.skew) as isize;
+                    let xs = (xt * spec.tile_x) as isize - off;
+                    let ys = (yt * spec.tile_y) as isize - off;
+                    let x0 = xs.max(0) as usize;
+                    let x1 = ((xs + spec.tile_x as isize).max(0) as usize).min(shape.nx);
+                    let y0 = ys.max(0) as usize;
+                    let y1 = ((ys + spec.tile_y as isize).max(0) as usize).min(shape.ny);
+                    if x0 < x1 && y0 < y1 {
+                        f(Slab {
+                            vt,
+                            range: Range3::new((x0, x1), (y0, y1), (0, shape.nz)),
+                        });
+                    }
+                }
+            }
+        }
+        t0 = t1;
+    }
+}
+
+/// Collect the full slab sequence (checker and test helper).
+pub fn slabs(shape: Shape, nvt: usize, spec: &WavefrontSpec) -> Vec<Slab> {
+    let mut out = Vec::new();
+    for_each_slab(shape, nvt, spec, |s| out.push(s));
+    out
+}
+
+/// Execute `nvt` virtual steps under wave-front temporal blocking.
+///
+/// `step(vt, region)` must compute virtual step `vt` for `region`; blocks
+/// within one slab are independent and run under `policy`.
+pub fn execute<S>(shape: Shape, nvt: usize, spec: &WavefrontSpec, policy: Policy, step: S)
+where
+    S: Fn(usize, &Range3) + Sync + Send,
+{
+    for_each_slab(shape, nvt, spec, |slab| {
+        let blocks = slab.range.split_xy(spec.block_x, spec.block_y);
+        tempest_par::for_each(policy, &blocks, |b| step(slab.vt, b));
+    });
+}
+
+/// Sequential wave-front execution with a mutable step closure.
+///
+/// Same schedule as [`execute`], single-threaded — for stateful consumers
+/// like the DSL interpreter that drive the schedule with `&mut self`.
+pub fn execute_seq<S>(shape: Shape, nvt: usize, spec: &WavefrontSpec, mut step: S)
+where
+    S: FnMut(usize, &Range3),
+{
+    for_each_slab(shape, nvt, spec, |slab| {
+        for b in slab.range.split_xy(spec.block_x, spec.block_y) {
+            step(slab.vt, &b);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_grid::Array3;
+
+    fn coverage_exact(shape: Shape, nvt: usize, spec: &WavefrontSpec) {
+        // counts[vt][x][y] over a flattened Array3 (vt, x, y)
+        let mut counts = Array3::<u32>::zeros(nvt.max(1), shape.nx, shape.ny);
+        for_each_slab(shape, nvt, spec, |s| {
+            for x in s.range.x0..s.range.x1 {
+                for y in s.range.y0..s.range.y1 {
+                    let v = counts.get(s.vt, x, y) + 1;
+                    counts.set(s.vt, x, y, v);
+                }
+            }
+        });
+        for vt in 0..nvt {
+            for x in 0..shape.nx {
+                for y in 0..shape.ny {
+                    assert_eq!(
+                        counts.get(vt, x, y),
+                        1,
+                        "(vt={vt}, x={x}, y={y}) covered {} times with {spec:?}",
+                        counts.get(vt, x, y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_each_space_time_point_exactly_once() {
+        let shape = Shape::new(23, 17, 4);
+        for spec in [
+            WavefrontSpec::new(8, 8, 4, 2, 4, 4),
+            WavefrontSpec::new(8, 8, 4, 2, 3, 5),
+            WavefrontSpec::new(16, 8, 8, 1, 8, 8),
+            WavefrontSpec::new(5, 7, 3, 4, 2, 2),
+            WavefrontSpec::new(32, 32, 6, 6, 8, 8), // tiles larger than grid
+        ] {
+            coverage_exact(shape, 11, &spec);
+        }
+    }
+
+    #[test]
+    fn tile_t_one_degenerates_to_space_blocking() {
+        let shape = Shape::new(12, 12, 3);
+        let spec = WavefrontSpec::new(4, 4, 1, 3, 4, 4);
+        let mut per_vt = vec![0usize; 5];
+        for_each_slab(shape, 5, &spec, |s| {
+            per_vt[s.vt] += s.range.len();
+            // No skew can apply with tile height 1.
+            assert_eq!(s.range.x1 - s.range.x0, 4);
+        });
+        for v in per_vt {
+            assert_eq!(v, shape.len());
+        }
+    }
+
+    #[test]
+    fn virtual_time_never_decreases_within_a_tile_and_tiles_ordered() {
+        let shape = Shape::new(16, 16, 2);
+        let spec = WavefrontSpec::new(8, 8, 4, 2, 4, 4);
+        let s = slabs(shape, 8, &spec);
+        // Time tiles are contiguous in the sequence: all vt<4 slabs appear
+        // before any vt>=4 slab.
+        let first_second_tile = s.iter().position(|sl| sl.vt >= 4).unwrap();
+        assert!(s[first_second_tile..].iter().all(|sl| sl.vt >= 4));
+        assert!(s[..first_second_tile].iter().all(|sl| sl.vt < 4));
+    }
+
+    #[test]
+    fn slabs_shift_left_with_virtual_time() {
+        let shape = Shape::new(64, 64, 2);
+        let spec = WavefrontSpec::new(16, 16, 4, 3, 8, 8);
+        let s = slabs(shape, 4, &spec);
+        // Find an interior tile's slabs (xt=1, yt=1): x starts 16,13,10,7.
+        let xs: Vec<usize> = s
+            .iter()
+            .filter(|sl| sl.range.y0 > 0 && sl.range.x0 > 0 && sl.range.x1 - sl.range.x0 == 16)
+            .take(4)
+            .map(|sl| sl.range.x0)
+            .collect();
+        assert!(
+            xs.windows(2).all(|w| w[1] + 3 == w[0] || w[1] >= w[0]),
+            "interior slabs shift left by skew: {xs:?}"
+        );
+    }
+
+    #[test]
+    fn execute_blocks_partition_slabs() {
+        let shape = Shape::new(20, 14, 3);
+        let spec = WavefrontSpec::new(8, 8, 3, 2, 3, 4);
+        let nvt = 7;
+        // Sum of block volumes must equal nvt * grid size.
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        execute(shape, nvt, &spec, Policy::Sequential, |_vt, b| {
+            total.fetch_add(b.len(), std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            nvt * shape.len()
+        );
+    }
+
+    #[test]
+    fn skewed_only_uses_one_spatial_tile() {
+        let shape = Shape::new(20, 16, 4);
+        let spec = WavefrontSpec::skewed_only(shape, 4, 2, 8, 8);
+        assert_eq!(spec.tiles_x(shape.nx), 1);
+        assert_eq!(spec.tiles_y(shape.ny), 1);
+        coverage_exact(shape, 8, &spec);
+    }
+
+    #[test]
+    fn tiles_x_covers_skewed_extent() {
+        let spec = WavefrontSpec::new(16, 16, 8, 4, 8, 8);
+        // Needs to cover nx + 7*4 = nx+28 points worth of start offsets.
+        assert_eq!(spec.tiles_x(64), (64 + 28usize).div_ceil(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_tile() {
+        let _ = WavefrontSpec::new(0, 8, 4, 2, 4, 4);
+    }
+}

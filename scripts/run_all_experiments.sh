@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerate every paper table/figure reproduction (see EXPERIMENTS.md).
+# Expect ~30-60 minutes on one core at the default 256³ size; pass
+# e.g. SIZE=128 for a quick pass or SIZE=512 for paper scale.
+set -e
+cd "$(dirname "$0")/.."
+SIZE="${SIZE:-256}"
+NT="${NT:-24}"
+
+cargo build --release -p tempest-bench
+
+./target/release/figure9  --size "$SIZE" --nt "$NT" | tee results_figure9.txt
+./target/release/figure10 --size "$SIZE" --nt 16    | tee results_figure10.txt
+./target/release/figure11 --size "$SIZE" --nt 16    | tee results_figure11.txt
+./target/release/ablation --size "$SIZE" --nt 16    | tee results_ablation.txt
+# Table I sweeps dozens of candidates; a smaller grid keeps it tractable.
+./target/release/table1   --size 128 --nt 16        | tee results_table1.txt
+echo "all experiments done"

@@ -1,0 +1,29 @@
+//! # tempest
+//!
+//! A from-scratch Rust reproduction of *"Temporal blocking of finite-
+//! difference stencil operators with sparse 'off-the-grid' sources"*
+//! (Bisbas et al., IPDPS 2021).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`grid`] — dense arrays, time buffers, domains, material models.
+//! * [`par`] — thread-pool parallel loops (the OpenMP analogue).
+//! * [`stencil`] — finite-difference coefficients and dense stencil kernels.
+//! * [`sparse`] — off-the-grid sources/receivers and the paper's
+//!   precomputation scheme (masks, IDs, decomposed wavelets).
+//! * [`tiling`] — spatially blocked and wave-front temporally blocked
+//!   loop schedules, legality checking and the auto-tuner.
+//! * [`core`] — the three wave propagators (acoustic, TTI, elastic) and the
+//!   high-level [`core::operator::Execution`] API.
+//! * [`dsl`] — a mini Devito-like symbolic layer that lowers PDE definitions
+//!   to executable stencil plans.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use tempest_core as core;
+pub use tempest_dsl as dsl;
+pub use tempest_grid as grid;
+pub use tempest_par as par;
+pub use tempest_sparse as sparse;
+pub use tempest_stencil as stencil;
+pub use tempest_tiling as tiling;

@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) over the core invariants:
+//! interpolation weights, the precomputation scheme, schedule coverage and
+//! legality, and FD coefficient exactness — randomised versions of the
+//! paper's structural claims.
+
+use proptest::prelude::*;
+use tempest::grid::{Domain, Shape};
+use tempest::sparse::wavelet::wavelet_matrix_scaled;
+use tempest::sparse::{trilinear, CompressedMask, SourcePrecompute, SparsePoints};
+use tempest::stencil::central_coeffs;
+use tempest::tiling::legality::{check_schedule, DepModel};
+use tempest::tiling::wavefront::{slabs, WavefrontSpec};
+
+fn small_domain() -> Domain {
+    Domain::uniform(Shape::cube(12), 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trilinear weights are a partition of unity with all weights in
+    /// [0, 1], for any point inside the domain.
+    #[test]
+    fn interp_partition_of_unity(fx in 0.0f32..1.0, fy in 0.0f32..1.0, fz in 0.0f32..1.0) {
+        let d = small_domain();
+        let e = d.extent();
+        let p = [fx * e[0], fy * e[1], fz * e[2]];
+        let st = trilinear(&d, p);
+        let sum: f32 = st.cells.iter().map(|&(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        for (c, w) in &st.cells {
+            prop_assert!((0.0..=1.0).contains(w));
+            prop_assert!(d.shape().contains(c[0], c[1], c[2]));
+        }
+    }
+
+    /// The interpolated position of the weights' centroid reproduces the
+    /// query point (trilinear reproduces linear functions).
+    #[test]
+    fn interp_reproduces_coordinates(fx in 0.01f32..0.99, fy in 0.01f32..0.99, fz in 0.01f32..0.99) {
+        let d = small_domain();
+        let e = d.extent();
+        let p = [fx * e[0], fy * e[1], fz * e[2]];
+        let st = trilinear(&d, p);
+        for (axis, &pa) in p.iter().enumerate() {
+            let val: f32 = st
+                .cells
+                .iter()
+                .map(|&(c, w)| w * d.coord_of(c[0], c[1], c[2])[axis])
+                .sum();
+            prop_assert!((val - pa).abs() < 1e-2, "axis {}: {} vs {}", axis, val, pa);
+        }
+    }
+
+    /// SM/SID consistency for random source sets: mask ⇔ id, ids dense and
+    /// ascending, every source footprint covered.
+    #[test]
+    fn precompute_mask_id_invariants(seed in 0u64..1000, n in 1usize..12) {
+        let d = small_domain();
+        let pts = SparsePoints::random(&d, n, seed);
+        let w = wavelet_matrix_scaled(&[1.0, -0.5, 0.25], &vec![1.0; n]);
+        let pre = SourcePrecompute::build(&d, &pts, &w);
+        let mut next = 0i32;
+        for (x, y, z) in d.shape().iter() {
+            let m = pre.sm.get(x, y, z);
+            let id = pre.sid.get(x, y, z);
+            prop_assert_eq!(m == 1, id >= 0);
+            if id >= 0 {
+                prop_assert_eq!(id, next);
+                next += 1;
+            }
+        }
+        prop_assert_eq!(next as usize, pre.npts());
+        prop_assert!(pre.npts() <= 8 * n);
+        // Probe construction agrees with the analytic one.
+        let probed = SourcePrecompute::build_probed(&d, &pts, &w);
+        prop_assert_eq!(&pre.points, &probed.points);
+    }
+
+    /// The compressed mask is a lossless re-indexing of SID.
+    #[test]
+    fn compressed_mask_lossless(seed in 0u64..1000, n in 1usize..12) {
+        let d = small_domain();
+        let pts = SparsePoints::random(&d, n, seed);
+        let w = wavelet_matrix_scaled(&[1.0], &vec![1.0; n]);
+        let pre = SourcePrecompute::build(&d, &pts, &w);
+        let comp = CompressedMask::build(&pre.sid);
+        prop_assert_eq!(comp.total(), pre.npts());
+        let s = d.shape();
+        for x in 0..s.nx {
+            for y in 0..s.ny {
+                let from_comp: Vec<(usize, usize)> = comp.entries(x, y).collect();
+                let from_sid: Vec<(usize, usize)> = (0..s.nz)
+                    .filter_map(|z| {
+                        let id = pre.sid.get(x, y, z);
+                        (id >= 0).then_some((z, id as usize))
+                    })
+                    .collect();
+                prop_assert_eq!(from_comp, from_sid);
+            }
+        }
+    }
+
+    /// Wave-front schedules cover every (vt, x, y) exactly once, whatever
+    /// the tile geometry.
+    #[test]
+    fn wavefront_coverage(
+        nx in 4usize..24,
+        ny in 4usize..24,
+        tile_x in 1usize..16,
+        tile_y in 1usize..16,
+        tile_t in 1usize..6,
+        skew in 0usize..4,
+        nvt in 1usize..8,
+    ) {
+        let shape = Shape::new(nx, ny, 2);
+        let spec = WavefrontSpec::new(tile_x, tile_y, tile_t, skew, 4, 4);
+        let mut counts = vec![0u32; nvt * nx * ny];
+        for s in slabs(shape, nvt, &spec) {
+            for x in s.range.x0..s.range.x1 {
+                for y in s.range.y0..s.range.y1 {
+                    counts[(s.vt * nx + x) * ny + y] += 1;
+                }
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    /// Schedules with skew ≥ radius pass the legality checker for both
+    /// buffer depths (the paper's Fig. 7 angle condition).
+    #[test]
+    fn wavefront_legality(
+        radius in 0usize..4,
+        extra in 0usize..3,
+        tile in 2usize..12,
+        tile_t in 1usize..6,
+        levels in 2usize..4,
+    ) {
+        let shape = Shape::new(18, 14, 2);
+        let skew = radius + extra;
+        let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
+        let sched = slabs(shape, 7, &spec);
+        prop_assert_eq!(
+            check_schedule(shape, 7, DepModel { radius, levels }, sched),
+            Ok(())
+        );
+    }
+
+    /// Central second-derivative weights: symmetric, zero-sum, correct
+    /// second moment — for every even order.
+    #[test]
+    fn fd_weight_invariants(half in 1usize..9) {
+        let order = 2 * half;
+        let w = central_coeffs(2, order);
+        let r = order / 2;
+        let sum: f64 = w.iter().sum();
+        prop_assert!(sum.abs() < 1e-9);
+        for k in 1..=r {
+            prop_assert!((w[r + k] - w[r - k]).abs() < 1e-11);
+        }
+        // Second moment Σ w_k k² = 2 (that's what makes it a 2nd derivative).
+        let m2: f64 = w
+            .iter()
+            .enumerate()
+            .map(|(i, &wk)| {
+                let k = i as f64 - r as f64;
+                wk * k * k
+            })
+            .sum();
+        prop_assert!((m2 - 2.0).abs() < 1e-8, "order {}: m2 {}", order, m2);
+    }
+
+    /// Decomposed injection (src_dcmp) conserves total injected amplitude:
+    /// Σ_id dcmp[t][id] = Σ_s src[t][s] (partition of unity summed over
+    /// footprints).
+    #[test]
+    fn decomposition_conserves_amplitude(seed in 0u64..500, n in 1usize..10) {
+        let d = small_domain();
+        let pts = SparsePoints::random(&d, n, seed);
+        let amps: Vec<f32> = (0..n).map(|i| 1.0 + i as f32 * 0.5).collect();
+        let w = wavelet_matrix_scaled(&[1.0, -2.0], &amps);
+        let pre = SourcePrecompute::build(&d, &pts, &w);
+        for t in 0..2 {
+            let total_dcmp: f64 = (0..pre.npts())
+                .map(|id| pre.src_dcmp.get(t, id) as f64)
+                .sum();
+            let total_src: f64 = (0..n).map(|s| w.get(t, s) as f64).sum();
+            prop_assert!(
+                (total_dcmp - total_src).abs() < 1e-4 * total_src.abs().max(1.0),
+                "t {}: {} vs {}", t, total_dcmp, total_src
+            );
+        }
+    }
+}
