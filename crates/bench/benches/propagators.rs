@@ -1,41 +1,33 @@
-//! Criterion benchmarks of the three wave propagators' per-step cost at a
+//! Benchmarks of the three wave propagators' per-step cost at a
 //! cache-resident size — the relative ordering (acoustic fastest per point,
 //! TTI most compute, elastic most data) is the §III characterisation the
 //! larger harness runs build on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tempest_bench::microbench::{self, Config};
 use tempest_bench::setup;
-use tempest_core::WaveSolver;
 use tempest_bench::sweep::exec_spaceblocked;
+use tempest_core::WaveSolver;
 
 const N: usize = 48;
 const NT: usize = 4;
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("propagator_step");
-    g.throughput(Throughput::Elements((N * N * N * NT) as u64));
+fn main() {
+    let cfg = Config::coarse();
     let e = exec_spaceblocked(8, 8);
+    let elems = (N * N * N * NT) as u64;
     for so in [4usize, 8] {
-        g.bench_with_input(BenchmarkId::new("acoustic", so), &so, |b, &so| {
-            let mut s = setup::acoustic(N, so, NT, 0);
-            b.iter(|| black_box(s.run(&e).elapsed))
+        let mut s = setup::acoustic(N, so, NT, 0);
+        microbench::run_elems(&format!("propagator_step/acoustic/{so}"), cfg, elems, || {
+            black_box(s.run(&e).elapsed);
         });
-        g.bench_with_input(BenchmarkId::new("tti", so), &so, |b, &so| {
-            let mut s = setup::tti(N, so, NT, 0);
-            b.iter(|| black_box(s.run(&e).elapsed))
+        let mut s = setup::tti(N, so, NT, 0);
+        microbench::run_elems(&format!("propagator_step/tti/{so}"), cfg, elems, || {
+            black_box(s.run(&e).elapsed);
         });
-        g.bench_with_input(BenchmarkId::new("elastic", so), &so, |b, &so| {
-            let mut s = setup::elastic(N, so, NT, 0);
-            b.iter(|| black_box(s.run(&e).elapsed))
+        let mut s = setup::elastic(N, so, NT, 0);
+        microbench::run_elems(&format!("propagator_step/elastic/{so}"), cfg, elems, || {
+            black_box(s.run(&e).elapsed);
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_models
-}
-criterion_main!(benches);

@@ -1,82 +1,142 @@
-//! Criterion benchmarks of the schedule engine itself: slab generation
-//! cost, legality-checker cost, and a small end-to-end comparison of the
-//! spatially blocked vs wave-front schedule on a cache-resident problem
-//! (the large-grid comparison lives in the `figure9` harness).
+//! Benchmarks of the schedule engine itself: slab generation cost,
+//! legality-checker cost, a small end-to-end comparison of the spatially
+//! blocked vs wave-front (slab-ordered and diagonal-parallel) schedules on
+//! a cache-resident problem, and a thread-scaling sweep of the two
+//! wave-front executors (the large-grid comparison lives in the `figure9`
+//! harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tempest_bench::microbench::{self, Config};
 use tempest_bench::setup;
-use tempest_core::WaveSolver;
 use tempest_bench::sweep::{exec_spaceblocked, exec_wavefront};
+use tempest_core::WaveSolver;
 use tempest_grid::Shape;
-use tempest_tiling::legality::{check_schedule, DepModel};
+use tempest_par::Policy;
+use tempest_tiling::legality::{check_diagonal_independence, check_schedule, DepModel};
 use tempest_tiling::wavefront::{slabs, WavefrontSpec};
 use tempest_tiling::Candidate;
 
-fn bench_slab_generation(c: &mut Criterion) {
+fn bench_slab_generation(cfg: Config) {
     let shape = Shape::new(512, 512, 512);
-    let mut g = c.benchmark_group("slab_generation");
     for tile in [32usize, 128] {
         let spec = WavefrontSpec::new(tile, tile, 8, 2, 8, 8);
-        g.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
-            b.iter(|| {
-                let mut n = 0usize;
-                tempest_tiling::wavefront::for_each_slab(shape, 64, &spec, |s| {
-                    n += usize::from(!s.range.is_empty());
-                });
-                black_box(n)
-            })
+        microbench::run(&format!("slab_generation/{tile}"), cfg, || {
+            let mut n = 0usize;
+            tempest_tiling::wavefront::for_each_slab(shape, 64, &spec, |s| {
+                n += usize::from(!s.range.is_empty());
+            });
+            black_box(n);
         });
     }
-    g.finish();
 }
 
-fn bench_legality_checker(c: &mut Criterion) {
+fn bench_legality_checker(cfg: Config) {
     let shape = Shape::new(64, 64, 4);
     let spec = WavefrontSpec::new(16, 16, 8, 2, 8, 8);
     let sched = slabs(shape, 32, &spec);
-    c.bench_function("legality_check_64x64x32", |b| {
-        b.iter(|| {
-            check_schedule(
-                shape,
-                32,
-                DepModel {
-                    radius: 2,
-                    levels: 3,
-                },
-                black_box(sched.iter().copied()),
-            )
-            .unwrap()
-        })
+    microbench::run("legality_check_64x64x32", cfg, || {
+        check_schedule(
+            shape,
+            32,
+            DepModel {
+                radius: 2,
+                levels: 3,
+            },
+            black_box(sched.iter().copied()),
+        )
+        .unwrap();
     });
 }
 
-fn bench_schedules_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("acoustic_64cube_8steps");
-    g.sample_size(10);
-    g.bench_function("spaceblocked", |b| {
+fn bench_diagonal_checker(cfg: Config) {
+    let shape = Shape::new(64, 64, 4);
+    let spec = WavefrontSpec::new(16, 16, 8, 2, 8, 8);
+    microbench::run("diagonal_independence_check_64x64x32", cfg, || {
+        check_diagonal_independence(
+            shape,
+            32,
+            DepModel {
+                radius: 2,
+                levels: 3,
+            },
+            black_box(&spec),
+        )
+        .unwrap();
+    });
+}
+
+fn bench_schedules_end_to_end(cfg: Config) {
+    {
         let mut s = setup::acoustic(64, 4, 8, 0);
         let e = exec_spaceblocked(8, 8);
-        b.iter(|| black_box(s.run(&e).elapsed))
-    });
-    g.bench_function("wavefront", |b| {
-        let mut s = setup::acoustic(64, 4, 8, 0);
-        let cand = Candidate {
-            tile_x: 32,
-            tile_y: 32,
-            tile_t: 4,
-            block_x: 8,
-            block_y: 8,
+        microbench::run("acoustic_64cube_8steps/spaceblocked", cfg, || {
+            black_box(s.run(&e).elapsed);
+        });
+    }
+    let cand = Candidate {
+        tile_x: 32,
+        tile_y: 32,
+        tile_t: 4,
+        block_x: 8,
+        block_y: 8,
+        diagonal: false,
+    };
+    for c in [cand, cand.with_diagonal()] {
+        let label = if c.diagonal {
+            "acoustic_64cube_8steps/wavefront_diagonal"
+        } else {
+            "acoustic_64cube_8steps/wavefront"
         };
-        let e = exec_wavefront(&cand);
-        b.iter(|| black_box(s.run(&e).elapsed))
-    });
-    g.finish();
+        let mut s = setup::acoustic(64, 4, 8, 0);
+        let e = exec_wavefront(&c);
+        microbench::run(label, cfg, || {
+            black_box(s.run(&e).elapsed);
+        });
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_slab_generation, bench_legality_checker, bench_schedules_end_to_end
+/// Thread-scaling sweep of the two wave-front executors: the diagonal
+/// executor's advantage is parallel grain, so it is only visible with more
+/// than one worker. Capped at the machine's available threads
+/// (`TEMPEST_THREADS` respected via `tempest_par::available_threads`).
+fn bench_thread_scaling(cfg: Config) {
+    let avail = tempest_par::available_threads();
+    let cand = Candidate {
+        tile_x: 16,
+        tile_y: 16,
+        tile_t: 4,
+        block_x: 8,
+        block_y: 8,
+        diagonal: false,
+    };
+    for threads in [1usize, 2, 4, 8] {
+        if threads > avail {
+            println!(
+                "thread_scaling: skipping {threads} threads (only {avail} available)"
+            );
+            continue;
+        }
+        for c in [cand, cand.with_diagonal()] {
+            let mode = if c.diagonal { "diagonal" } else { "slab" };
+            let mut s = setup::acoustic(64, 4, 8, 0);
+            let mut e = exec_wavefront(&c);
+            e.policy = Policy::Capped { threads };
+            microbench::run(
+                &format!("thread_scaling/{mode}/t{threads}"),
+                cfg,
+                || {
+                    black_box(s.run(&e).elapsed);
+                },
+            );
+        }
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    let cfg = Config::coarse();
+    bench_slab_generation(cfg);
+    bench_legality_checker(cfg);
+    bench_diagonal_checker(cfg);
+    bench_schedules_end_to_end(cfg);
+    bench_thread_scaling(cfg);
+}

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the off-grid sparse-operator paths:
+//! Micro-benchmarks of the off-grid sparse-operator paths:
 //! classic per-timestep injection (Listing 1), the one-off precomputation
 //! cost (§II.A — the "negligible overhead" claim), and the per-step fused
 //! apply in its uncompressed (Listing 4) and compressed (Listing 5) forms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tempest_bench::microbench::{self, Config};
 use tempest_grid::{Domain, Field, Shape};
 use tempest_sparse::wavelet::wavelet_matrix;
 use tempest_sparse::{inject, ricker, CompressedMask, SourcePrecompute, SparsePoints};
@@ -16,89 +16,74 @@ fn domain() -> Domain {
     Domain::uniform(Shape::cube(N), 10.0)
 }
 
-fn bench_classic_injection(c: &mut Criterion) {
+fn bench_classic_injection(cfg: Config) {
     let d = domain();
-    let mut g = c.benchmark_group("classic_inject");
     for nsrc in [1usize, 64, 1024] {
         let pts = SparsePoints::dense_layout(&d, nsrc, 0.37);
         let stencils = tempest_sparse::interp::trilinear_all(&d, &pts);
         let amps = vec![0.5f32; nsrc];
         let mut f = Field::zeros(d.shape(), 2);
-        g.bench_with_input(BenchmarkId::from_parameter(nsrc), &nsrc, |b, _| {
-            b.iter(|| {
-                inject(black_box(&mut f), &stencils, &amps, |_, _, _| 1.0);
-            })
+        microbench::run(&format!("classic_inject/{nsrc}"), cfg, || {
+            inject(black_box(&mut f), &stencils, &amps, |_, _, _| 1.0);
         });
     }
-    g.finish();
 }
 
-fn bench_precompute_build(c: &mut Criterion) {
+fn bench_precompute_build(cfg: Config) {
     let d = domain();
-    let mut g = c.benchmark_group("precompute_build");
-    g.sample_size(10);
     for nsrc in [1usize, 64, 1024] {
         let pts = SparsePoints::dense_layout(&d, nsrc, 0.37);
         let w = wavelet_matrix(&ricker(10.0, 0.001, NT), nsrc);
-        g.bench_with_input(BenchmarkId::from_parameter(nsrc), &nsrc, |b, _| {
-            b.iter(|| {
-                let pre = SourcePrecompute::build(black_box(&d), &pts, &w);
-                let comp = CompressedMask::build(&pre.sid);
-                black_box((pre.npts(), comp.total()))
-            })
+        microbench::run(&format!("precompute_build/{nsrc}"), cfg, || {
+            let pre = SourcePrecompute::build(black_box(&d), &pts, &w);
+            let comp = CompressedMask::build(&pre.sid);
+            black_box((pre.npts(), comp.total()));
         });
     }
-    g.finish();
 }
 
-fn bench_fused_apply(c: &mut Criterion) {
+fn bench_fused_apply(cfg: Config) {
     let d = domain();
     let pts = SparsePoints::plane_layout(&d, 64, 0.5, 0.37);
     let w = wavelet_matrix(&ricker(10.0, 0.001, NT), 64);
     let pre = SourcePrecompute::build(&d, &pts, &w);
     let comp = CompressedMask::build(&pre.sid);
     let mut f = Field::zeros(d.shape(), 2);
-    let mut g = c.benchmark_group("fused_apply_per_sweep");
 
-    // Listing 4: full z2 scan against the binary mask.
-    g.bench_function("uncompressed_mask_scan", |b| {
-        b.iter(|| {
-            let dcmp = pre.dcmp_row(3);
-            for x in 0..N {
-                for y in 0..N {
-                    let sm = pre.sm_pencil(x, y);
-                    let sid = pre.sid_pencil(x, y);
-                    for z in 0..N {
-                        if sm[z] != 0 {
-                            f.add(x, y, z, dcmp[sid[z] as usize]);
-                        }
+    // Listing 4: full z scan against the binary mask.
+    microbench::run("fused_apply_per_sweep/uncompressed_mask_scan", cfg, || {
+        let dcmp = pre.dcmp_row(3);
+        for x in 0..N {
+            for y in 0..N {
+                let sm = pre.sm_pencil(x, y);
+                let sid = pre.sid_pencil(x, y);
+                for z in 0..N {
+                    if sm[z] != 0 {
+                        f.add(x, y, z, dcmp[sid[z] as usize]);
                     }
                 }
             }
-            black_box(&f);
-        })
+        }
+        black_box(&f);
     });
 
     // Listing 5: compressed nnz entries only.
-    g.bench_function("compressed_nnz", |b| {
-        b.iter(|| {
-            let dcmp = pre.dcmp_row(3);
-            for x in 0..N {
-                for y in 0..N {
-                    for (z, id) in comp.entries(x, y) {
-                        f.add(x, y, z, dcmp[id]);
-                    }
+    microbench::run("fused_apply_per_sweep/compressed_nnz", cfg, || {
+        let dcmp = pre.dcmp_row(3);
+        for x in 0..N {
+            for y in 0..N {
+                for (z, id) in comp.entries(x, y) {
+                    f.add(x, y, z, dcmp[id]);
                 }
             }
-            black_box(&f);
-        })
+        }
+        black_box(&f);
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_classic_injection, bench_precompute_build, bench_fused_apply
+fn main() {
+    let cfg = Config::default();
+    bench_classic_injection(cfg);
+    bench_precompute_build(Config::coarse());
+    bench_fused_apply(cfg);
 }
-criterion_main!(benches);

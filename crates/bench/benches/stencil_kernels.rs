@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks of the dense FD kernels: the per-pencil
+//! Micro-benchmarks of the dense FD kernels: the per-pencil
 //! Laplacian / first-derivative / staggered / cross-derivative building
 //! blocks at the paper's space orders 4, 8, 12. These quantify the
 //! operation-count growth with space order that shrinks temporal-blocking
 //! gains (paper §I.B: "temporal blocking gains decrease when space-order
 //! increases").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tempest_bench::microbench::{self, Config};
 use tempest_stencil::kernels::{
     cross_diff, first_derivative_weights, laplacian_at, staggered_diff_fwd, staggered_weights,
     AxisWeights,
@@ -22,17 +22,17 @@ fn grid() -> (Vec<f32>, usize, usize) {
     (u, N * N, N)
 }
 
-fn bench_laplacian(c: &mut Criterion) {
+fn bench_laplacian(cfg: Config) {
     let (u, sx, sy) = grid();
-    let mut g = c.benchmark_group("laplacian_pencil");
     for so in [4usize, 8, 12] {
         let w = AxisWeights::second_derivative(so, 10.0);
         let r = so / 2;
-        let z0 = r;
-        let z1 = N - r;
-        g.throughput(Throughput::Elements((z1 - z0) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(so), &so, |b, _| {
-            b.iter(|| {
+        let (z0, z1) = (r, N - r);
+        microbench::run_elems(
+            &format!("laplacian_pencil/{so}"),
+            cfg,
+            (z1 - z0) as u64,
+            || {
                 let mut acc = 0.0f32;
                 let base = (N / 2 * N + N / 2) * N;
                 for z in z0..z1 {
@@ -47,58 +47,57 @@ fn bench_laplacian(c: &mut Criterion) {
                         &w.side,
                     );
                 }
-                black_box(acc)
-            })
-        });
+                black_box(acc);
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_first_diff_cross(c: &mut Criterion) {
+fn bench_first_diff_cross(cfg: Config) {
     let (u, sx, sy) = grid();
-    let mut g = c.benchmark_group("cross_diff_pencil");
     for so in [4usize, 8, 12] {
         let w = first_derivative_weights(so, 10.0);
         let r = so / 2;
-        g.throughput(Throughput::Elements((N - 2 * r) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(so), &so, |b, _| {
-            b.iter(|| {
+        microbench::run_elems(
+            &format!("cross_diff_pencil/{so}"),
+            cfg,
+            (N - 2 * r) as u64,
+            || {
                 let mut acc = 0.0f32;
                 let base = (N / 2 * N + N / 2) * N;
                 for z in r..N - r {
                     acc += cross_diff(black_box(&u), base + z, sx, sy, &w, &w);
                 }
-                black_box(acc)
-            })
-        });
+                black_box(acc);
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_staggered(c: &mut Criterion) {
+fn bench_staggered(cfg: Config) {
     let (u, _sx, _sy) = grid();
-    let mut g = c.benchmark_group("staggered_diff_pencil");
     for so in [4usize, 8, 12] {
         let w = staggered_weights(so, 10.0);
         let r = so / 2;
-        g.throughput(Throughput::Elements((N - 2 * r) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(so), &so, |b, _| {
-            b.iter(|| {
+        microbench::run_elems(
+            &format!("staggered_diff_pencil/{so}"),
+            cfg,
+            (N - 2 * r) as u64,
+            || {
                 let mut acc = 0.0f32;
                 let base = (N / 2 * N + N / 2) * N;
                 for z in r..N - r {
                     acc += staggered_diff_fwd(black_box(&u), base + z, 1, &w);
                 }
-                black_box(acc)
-            })
-        });
+                black_box(acc);
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_laplacian, bench_first_diff_cross, bench_staggered
+fn main() {
+    let cfg = Config::default();
+    bench_laplacian(cfg);
+    bench_first_diff_cross(cfg);
+    bench_staggered(cfg);
 }
-criterion_main!(benches);

@@ -47,6 +47,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         tile_t: tt,
         block_x: 8,
         block_y: 8,
+        diagonal: false,
     };
     let tiled = Candidate {
         tile_x: 16,
@@ -54,6 +55,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         tile_t: tt,
         block_x: 8,
         block_y: 8,
+        diagonal: false,
     };
     for (label, c) in [("pure skewing", skew_only), ("tiled wavefront", tiled)] {
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
@@ -75,6 +77,7 @@ fn listing4_vs_listing5(args: &HarnessArgs) {
         tile_t: 8.min(args.nt),
         block_x: 8,
         block_y: 8,
+        diagonal: false,
     };
     let counts = if args.fast {
         vec![1usize, 64]
@@ -123,6 +126,7 @@ fn tile_height_sweep(args: &HarnessArgs) {
             tile_t: tt,
             block_x: 8,
             block_y: 8,
+            diagonal: false,
         };
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
         if tt == 1 {

@@ -11,10 +11,11 @@
 //!
 //! All binaries accept `--size N` (grid edge, default 256 — the paper used
 //! 512³; pass `--size 512` for paper scale), `--nt N` (timesteps), and
-//! `--fast` (small smoke-test configuration). Criterion micro-benches live
-//! under `benches/`.
+//! `--fast` (small smoke-test configuration). Micro-benches live under
+//! `benches/` on the in-repo [`microbench`] harness.
 
 pub mod args;
+pub mod microbench;
 pub mod sweep;
 pub mod report;
 pub mod roofline;

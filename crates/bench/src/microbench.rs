@@ -1,0 +1,199 @@
+//! A small self-contained micro-benchmark harness (the workspace builds
+//! hermetically, so no criterion). Auto-calibrates the iteration count,
+//! reports best / median / mean per-iteration time and optional
+//! per-element throughput. Not statistically fancy — best-of-many on a
+//! quiet machine is what the paper's harness runs use anyway.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label (`group/case` by convention).
+    pub label: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Fastest single iteration.
+    pub best: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+    /// Optional element count per iteration for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Sample {
+    /// Elements per second at the median time.
+    pub fn elements_per_s(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / self.median.as_secs_f64().max(1e-12))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} median {:>10}  best {:>10}  mean {:>10}  ({} iters)",
+            self.label,
+            fmt_duration(self.median),
+            fmt_duration(self.best),
+            fmt_duration(self.mean),
+            self.iters
+        )?;
+        if let Some(eps) = self.elements_per_s() {
+            write!(f, "  {:.2} Melem/s", eps / 1e6)?;
+        }
+        Ok(())
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Warm-up budget before measuring.
+    pub warmup: Duration,
+    /// Total measurement budget.
+    pub measure: Duration,
+    /// Upper bound on timed iterations.
+    pub max_iters: usize,
+    /// Lower bound on timed iterations.
+    pub min_iters: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(800),
+            max_iters: 200,
+            min_iters: 5,
+        }
+    }
+}
+
+impl Config {
+    /// A faster profile for heavyweight end-to-end cases.
+    pub fn coarse() -> Self {
+        Config {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(600),
+            max_iters: 20,
+            min_iters: 3,
+        }
+    }
+}
+
+/// Run one benchmark case: calibrate, measure, print, return the sample.
+pub fn run<F: FnMut()>(label: &str, cfg: Config, mut f: F) -> Sample {
+    run_with_elements(label, cfg, None, &mut f)
+}
+
+/// Like [`run`], additionally reporting `elements`/iteration throughput.
+pub fn run_elems<F: FnMut()>(label: &str, cfg: Config, elements: u64, mut f: F) -> Sample {
+    run_with_elements(label, cfg, Some(elements), &mut f)
+}
+
+fn run_with_elements(
+    label: &str,
+    cfg: Config,
+    elements: Option<u64>,
+    f: &mut dyn FnMut(),
+) -> Sample {
+    // Warm-up and single-iteration estimate.
+    let started = Instant::now();
+    let mut probe_iters = 0usize;
+    while started.elapsed() < cfg.warmup || probe_iters == 0 {
+        f();
+        probe_iters += 1;
+        if probe_iters >= cfg.max_iters && started.elapsed() >= cfg.warmup {
+            break;
+        }
+    }
+    let per_iter = started.elapsed() / probe_iters as u32;
+    let iters = (cfg.measure.as_nanos() / per_iter.as_nanos().max(1)) as usize;
+    let iters = iters.clamp(cfg.min_iters, cfg.max_iters);
+
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let best = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let s = Sample {
+        label: label.to_string(),
+        iters,
+        best,
+        median,
+        mean,
+        elements,
+    };
+    println!("{s}");
+    black_box(&s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let cfg = Config {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            max_iters: 50,
+            min_iters: 3,
+        };
+        let mut n = 0u64;
+        let s = run("test/spin", cfg, || {
+            for i in 0..1000u64 {
+                n = n.wrapping_add(black_box(i));
+            }
+        });
+        assert!(s.iters >= 3);
+        assert!(s.best <= s.median && s.median <= *[s.mean, s.median].iter().max().unwrap());
+        assert!(s.best > Duration::ZERO);
+    }
+
+    #[test]
+    fn throughput_reported() {
+        let cfg = Config {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+            max_iters: 10,
+            min_iters: 3,
+        };
+        let s = run_elems("test/tp", cfg, 1000, || {
+            black_box((0..100).sum::<u64>());
+        });
+        assert!(s.elements_per_s().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -11,16 +11,28 @@ use tempest_core::operator::{Schedule, SparseMode};
 use tempest_par::Policy;
 use tempest_tiling::{autotune, Candidate, TuneResult};
 
-/// Execution for a WTB candidate.
+/// Execution for a WTB candidate (slab-ordered or diagonal-parallel,
+/// per the candidate's `diagonal` flag).
 pub fn exec_wavefront(c: &Candidate) -> Execution {
-    Execution {
-        schedule: Schedule::Wavefront {
+    let schedule = if c.diagonal {
+        Schedule::WavefrontDiagonal {
             tile_x: c.tile_x,
             tile_y: c.tile_y,
             tile_t: c.tile_t,
             block_x: c.block_x,
             block_y: c.block_y,
-        },
+        }
+    } else {
+        Schedule::Wavefront {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    };
+    Execution {
+        schedule,
         sparse: SparseMode::FusedCompressed,
         policy: Policy::default(),
     }

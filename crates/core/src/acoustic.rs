@@ -388,6 +388,12 @@ impl WaveSolver for Acoustic {
                     this.step_region(vt, region, exec.sparse)
                 });
             }
+            Schedule::WavefrontDiagonal { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 1);
+                wavefront::execute_diagonal(shape, nt, &spec, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -464,6 +470,151 @@ mod tests {
     }
 
     #[test]
+    fn diagonal_matches_baseline_bitwise() {
+        for so in [4usize, 8] {
+            let mut a = small_setup(so, 16);
+            a.run(&Execution::baseline().sequential());
+            let base = a.final_field();
+
+            let mut exec = Execution::wavefront_diagonal_default().sequential();
+            exec.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 4,
+                block_x: 4,
+                block_y: 4,
+            };
+            a.run(&exec);
+            let dg = a.final_field();
+            assert!(
+                base.bit_equal(&dg),
+                "so={so}: diagonal WTB must be bitwise identical, max diff {}",
+                base.max_abs_diff(&dg)
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_parallel_matches_sequential_bitwise() {
+        let mut a = small_setup(4, 12);
+        let mut exec = Execution::wavefront_diagonal_default().sequential();
+        exec.schedule = Schedule::WavefrontDiagonal {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 4,
+            block_x: 4,
+            block_y: 4,
+        };
+        a.run(&exec);
+        let seq = a.final_field();
+        exec.policy = tempest_par::Policy::Parallel;
+        a.run(&exec);
+        let par = a.final_field();
+        assert!(
+            seq.bit_equal(&par),
+            "concurrent diagonal tiles must not change the wavefield, max diff {}",
+            seq.max_abs_diff(&par)
+        );
+    }
+
+    #[test]
+    fn diagonal_fused_sparse_modes_agree_bitwise() {
+        // Fused source/receiver work must land on the correct vt regardless
+        // of which tile of a diagonal reaches a pencil.
+        let mut a = small_setup(4, 12);
+        let mut e1 = Execution::wavefront_diagonal_default().sequential();
+        e1.schedule = Schedule::WavefrontDiagonal {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 4,
+            block_x: 8,
+            block_y: 8,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        a.run(&e1);
+        let f1 = a.final_field();
+        a.run(&e2);
+        let f2 = a.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under diagonal executor");
+    }
+
+    #[test]
+    fn diagonal_tile_t_one_degrades_to_spaceblocked_bitwise() {
+        // tile_t = 1: every diagonal pass is one slab per tile at a single
+        // vt — the schedule is per-timestep spatial blocking.
+        let mut a = small_setup(4, 10);
+        let mut sb = Execution::baseline().sequential();
+        sb.schedule = Schedule::SpaceBlocked {
+            block_x: 4,
+            block_y: 4,
+        };
+        sb.sparse = SparseMode::Fused;
+        a.run(&sb);
+        let base = a.final_field();
+        let mut dg = Execution::wavefront_diagonal_default().sequential();
+        dg.schedule = Schedule::WavefrontDiagonal {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 1,
+            block_x: 4,
+            block_y: 4,
+        };
+        dg.sparse = SparseMode::Fused;
+        a.run(&dg);
+        let f = a.final_field();
+        assert!(
+            base.bit_equal(&f),
+            "tile_t=1 diagonal must equal space blocking, max diff {}",
+            base.max_abs_diff(&f)
+        );
+    }
+
+    #[test]
+    fn skewed_only_spec_under_diagonal_degrades_to_spaceblocked_bitwise() {
+        // One spatial tile covering the whole skewed domain (skewed_only):
+        // every slab is a full-grid sweep, so the diagonal executor must
+        // reproduce the spatially blocked result exactly.
+        let n = 24;
+        let (tile_t, so) = (4usize, 4usize);
+        let skew = so / 2;
+        let mut a = small_setup(so, 12);
+        let mut sb = Execution::baseline().sequential();
+        sb.schedule = Schedule::SpaceBlocked {
+            block_x: 8,
+            block_y: 8,
+        };
+        sb.sparse = SparseMode::Fused;
+        a.run(&sb);
+        let base = a.final_field();
+        let spec = tempest_tiling::WavefrontSpec::skewed_only(
+            Shape::cube(n),
+            tile_t,
+            skew,
+            8,
+            8,
+        );
+        let mut dg = Execution::wavefront_diagonal_default().sequential();
+        dg.schedule = Schedule::WavefrontDiagonal {
+            tile_x: spec.tile_x,
+            tile_y: spec.tile_y,
+            tile_t,
+            block_x: 8,
+            block_y: 8,
+        };
+        dg.sparse = SparseMode::Fused;
+        a.run(&dg);
+        let f = a.final_field();
+        assert!(
+            base.bit_equal(&f),
+            "skewed-only diagonal must equal space blocking, max diff {}",
+            base.max_abs_diff(&f)
+        );
+    }
+
+    #[test]
     fn fused_uncompressed_matches_compressed_bitwise() {
         let mut a = small_setup(4, 12);
         let mut e1 = Execution::wavefront_default().sequential();
@@ -506,6 +657,18 @@ mod tests {
         };
         a.run(&exec);
         let t_wf = a.trace().unwrap();
+        // Diagonal executor, parallel: trace accumulation order may differ
+        // (atomic adds), so compare with the same tolerance.
+        exec.schedule = Schedule::WavefrontDiagonal {
+            tile_x: 12,
+            tile_y: 12,
+            tile_t: 5,
+            block_x: 6,
+            block_y: 6,
+        };
+        exec.policy = tempest_par::Policy::Parallel;
+        a.run(&exec);
+        let t_dg = a.trace().unwrap();
         let scale = t_base
             .as_slice()
             .iter()
@@ -519,6 +682,13 @@ mod tests {
                     "trace[{t}][{r}]: {} vs {}",
                     t_base.get(t, r),
                     t_wf.get(t, r)
+                );
+                let d = (t_base.get(t, r) - t_dg.get(t, r)).abs();
+                assert!(
+                    d <= 1e-4 * scale,
+                    "diag trace[{t}][{r}]: {} vs {}",
+                    t_base.get(t, r),
+                    t_dg.get(t, r)
                 );
             }
         }
@@ -549,6 +719,28 @@ mod tests {
         let diff = base.max_abs_diff(&wf);
         let scale = base.max_abs().max(1e-20);
         assert!(diff <= 1e-4 * scale, "rel diff {}", diff / scale);
+
+        // Diagonal execution with the same tile geometry is bitwise equal
+        // to slab-ordered wave-front execution even with sources dense
+        // enough that neighbouring tiles share affected pencils.
+        exec.sparse = SparseMode::FusedCompressed;
+        a.run(&exec);
+        let wf = a.final_field();
+        exec.schedule = Schedule::WavefrontDiagonal {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 4,
+            block_x: 8,
+            block_y: 8,
+        };
+        exec.policy = tempest_par::Policy::Parallel;
+        a.run(&exec);
+        let dg = a.final_field();
+        assert!(
+            wf.bit_equal(&dg),
+            "diagonal multi-source must be bitwise, max diff {}",
+            wf.max_abs_diff(&dg)
+        );
     }
 
     #[test]

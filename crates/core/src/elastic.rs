@@ -392,6 +392,12 @@ impl WaveSolver for Elastic {
                     this.step_region(vt, region, exec.sparse)
                 });
             }
+            Schedule::WavefrontDiagonal { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 2);
+                wavefront::execute_diagonal(shape, nvt, &spec, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -460,6 +466,37 @@ mod tests {
                 "so={so}: elastic WTB must be bitwise identical, max diff {}",
                 base.max_abs_diff(&wf)
             );
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_baseline_bitwise() {
+        // The staggered scheme runs two virtual steps per timestep; the
+        // diagonal executor must keep the velocity/stress interleaving (and
+        // the fused source work on odd vt) intact in every tile.
+        for so in [4usize, 8] {
+            let mut e = setup(so, 12);
+            e.run(&Execution::baseline().sequential());
+            let base = e.final_field();
+            let mut exec = Execution::wavefront_diagonal_default().sequential();
+            exec.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            e.run(&exec);
+            let dg = e.final_field();
+            assert!(
+                base.bit_equal(&dg),
+                "so={so}: elastic diagonal WTB must be bitwise identical, max diff {}",
+                base.max_abs_diff(&dg)
+            );
+            exec.policy = tempest_par::Policy::Parallel;
+            e.run(&exec);
+            let par = e.final_field();
+            assert!(base.bit_equal(&par), "so={so}: parallel diagonal differs");
         }
     }
 

@@ -48,6 +48,25 @@ pub enum Schedule {
         /// Intra-slab block extent along y (Table I `block_y`).
         block_y: usize,
     },
+    /// Wave-front temporal blocking with diagonal-parallel tile execution:
+    /// same parameters and identical (bitwise) results as [`Wavefront`],
+    /// but tiles on one anti-diagonal of a time tile run concurrently as
+    /// whole space-time tiles, with one barrier per diagonal instead of one
+    /// per slab. Coarser parallel grain, ~`tile_t×` fewer synchronisation
+    /// points; legality for `skew ≥ radius` is certified by
+    /// `tempest_tiling::legality::check_diagonal_independence`.
+    WavefrontDiagonal {
+        /// Spatial tile extent along x (Table I `tile_x`).
+        tile_x: usize,
+        /// Spatial tile extent along y (Table I `tile_y`).
+        tile_y: usize,
+        /// Temporal tile height in timesteps.
+        tile_t: usize,
+        /// Intra-slab block extent along x (Table I `block_x`).
+        block_x: usize,
+        /// Intra-slab block extent along y (Table I `block_y`).
+        block_y: usize,
+    },
 }
 
 /// A complete execution configuration.
@@ -92,6 +111,22 @@ impl Execution {
         }
     }
 
+    /// Like [`wavefront_default`](Self::wavefront_default) but with the
+    /// diagonal-parallel tile executor.
+    pub fn wavefront_diagonal_default() -> Self {
+        Execution {
+            schedule: Schedule::WavefrontDiagonal {
+                tile_x: 64,
+                tile_y: 64,
+                tile_t: 8,
+                block_x: 8,
+                block_y: 8,
+            },
+            sparse: SparseMode::FusedCompressed,
+            policy: Policy::default(),
+        }
+    }
+
     /// Force sequential execution (reproducible timings on shared machines).
     pub fn sequential(mut self) -> Self {
         self.policy = Policy::Sequential;
@@ -99,10 +134,18 @@ impl Execution {
     }
 
     /// Convert to the tiling crate's spec given a per-virtual-step skew and
-    /// phase count. Panics if the schedule is not `Wavefront`.
+    /// phase count. Panics if the schedule is not `Wavefront` or
+    /// `WavefrontDiagonal` (both share the same tile geometry).
     pub fn wavefront_spec(&self, skew: usize, phases: usize) -> WavefrontSpec {
         match self.schedule {
             Schedule::Wavefront {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            }
+            | Schedule::WavefrontDiagonal {
                 tile_x,
                 tile_y,
                 tile_t,
@@ -131,8 +174,10 @@ impl Execution {
 
     /// Check schedule/sparse compatibility; panics on the Fig. 4b hazard.
     pub fn validate(&self) {
-        if matches!(self.schedule, Schedule::Wavefront { .. })
-            && self.sparse == SparseMode::Classic
+        if matches!(
+            self.schedule,
+            Schedule::Wavefront { .. } | Schedule::WavefrontDiagonal { .. }
+        ) && self.sparse == SparseMode::Classic
         {
             panic!(
                 "classic (per-timestep) sparse operators are illegal under wave-front \
@@ -232,6 +277,24 @@ mod tests {
     #[should_panic(expected = "Fig. 4b")]
     fn classic_under_wavefront_is_rejected() {
         let mut e = Execution::wavefront_default();
+        e.sparse = SparseMode::Classic;
+        e.validate();
+    }
+
+    #[test]
+    fn wavefront_diagonal_shares_tile_geometry() {
+        let e = Execution::wavefront_diagonal_default();
+        e.validate();
+        assert_eq!(e.sparse, SparseMode::FusedCompressed);
+        let spec = e.wavefront_spec(2, 1);
+        assert_eq!(spec, Execution::wavefront_default().wavefront_spec(2, 1));
+        assert_eq!(e.wavefront_spec(4, 2).tile_t, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 4b")]
+    fn classic_under_wavefront_diagonal_is_rejected() {
+        let mut e = Execution::wavefront_diagonal_default();
         e.sparse = SparseMode::Classic;
         e.validate();
     }

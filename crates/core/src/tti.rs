@@ -366,6 +366,12 @@ impl WaveSolver for Tti {
                     this.step_region(vt, region, exec.sparse)
                 });
             }
+            Schedule::WavefrontDiagonal { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 1);
+                wavefront::execute_diagonal(shape, nt, &spec, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -454,6 +460,34 @@ mod tests {
                 "so={so}: TTI WTB must be bitwise identical, max diff {}",
                 base.max_abs_diff(&wf)
             );
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_baseline_bitwise() {
+        for so in [4usize, 8] {
+            let mut t = setup(0.35, so, 12);
+            t.run(&Execution::baseline().sequential());
+            let base = t.final_field();
+            let mut exec = Execution::wavefront_diagonal_default().sequential();
+            exec.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            t.run(&exec);
+            let dg = t.final_field();
+            assert!(
+                base.bit_equal(&dg),
+                "so={so}: TTI diagonal WTB must be bitwise identical, max diff {}",
+                base.max_abs_diff(&dg)
+            );
+            exec.policy = tempest_par::Policy::Parallel;
+            t.run(&exec);
+            let par = t.final_field();
+            assert!(base.bit_equal(&par), "so={so}: parallel diagonal differs");
         }
     }
 

@@ -29,6 +29,7 @@ pub mod boundary;
 pub mod domain;
 pub mod field;
 pub mod model;
+pub mod rng;
 pub mod shape;
 pub mod timebuffer;
 
@@ -37,5 +38,6 @@ pub use boundary::DampingMask;
 pub use domain::Domain;
 pub use field::Field;
 pub use model::{ElasticModel, Model, TtiModel};
+pub use rng::Rng64;
 pub use shape::{Range3, Shape};
 pub use timebuffer::TimeBuffer;

@@ -16,8 +16,7 @@
 use crate::array::Array3;
 use crate::domain::Domain;
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Isotropic acoustic material model.
 #[derive(Debug, Clone)]
@@ -63,10 +62,10 @@ impl Model {
     pub fn random(domain: Domain, c_min: f32, c_max: f32, seed: u64) -> Self {
         assert!(0.0 < c_min && c_min <= c_max);
         let s = domain.shape();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut m = Array3::zeros(s.nx, s.ny, s.nz);
         for v in m.as_mut_slice() {
-            let c: f32 = rng.gen_range(c_min..=c_max);
+            let c: f32 = rng.range_f32(c_min, c_max);
             *v = 1.0 / (c * c);
         }
         Model {
@@ -133,7 +132,7 @@ impl TtiModel {
     pub fn random(domain: Domain, c_min: f32, c_max: f32, seed: u64) -> Self {
         assert!(0.0 < c_min && c_min <= c_max);
         let s = domain.shape();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let n = (s.nx, s.ny, s.nz);
         let mut m = Array3::zeros(n.0, n.1, n.2);
         let mut epsilon = Array3::zeros(n.0, n.1, n.2);
@@ -142,14 +141,14 @@ impl TtiModel {
         let mut phi = Array3::zeros(n.0, n.1, n.2);
         let mut emax = 0.0f32;
         for i in 0..m.len() {
-            let c: f32 = rng.gen_range(c_min..=c_max);
+            let c: f32 = rng.range_f32(c_min, c_max);
             m.as_mut_slice()[i] = 1.0 / (c * c);
-            let e: f32 = rng.gen_range(0.0..0.3);
+            let e: f32 = rng.range_f32(0.0, 0.3);
             emax = emax.max(e);
             epsilon.as_mut_slice()[i] = e;
-            delta.as_mut_slice()[i] = rng.gen_range(0.0..e.max(1e-6));
-            theta.as_mut_slice()[i] = rng.gen_range(-0.5..0.5);
-            phi.as_mut_slice()[i] = rng.gen_range(-0.5..0.5);
+            delta.as_mut_slice()[i] = rng.range_f32(0.0, e.max(1e-6));
+            theta.as_mut_slice()[i] = rng.range_f32(-0.5, 0.5);
+            phi.as_mut_slice()[i] = rng.range_f32(-0.5, 0.5);
         }
         let vmax = c_max * (1.0 + 2.0 * emax).sqrt();
         TtiModel {
@@ -219,15 +218,15 @@ impl ElasticModel {
     pub fn random(domain: Domain, vp_min: f32, vp_max: f32, seed: u64) -> Self {
         assert!(0.0 < vp_min && vp_min <= vp_max);
         let s = domain.shape();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let n = (s.nx, s.ny, s.nz);
         let mut lam = Array3::zeros(n.0, n.1, n.2);
         let mut mu = Array3::zeros(n.0, n.1, n.2);
         let mut b = Array3::zeros(n.0, n.1, n.2);
         for i in 0..lam.len() {
-            let vp: f32 = rng.gen_range(vp_min..=vp_max);
+            let vp: f32 = rng.range_f32(vp_min, vp_max);
             let vs = vp / 2.0;
-            let rho: f32 = rng.gen_range(2000.0..2600.0);
+            let rho: f32 = rng.range_f32(2000.0, 2600.0);
             let mu_v = rho * vs * vs;
             lam.as_mut_slice()[i] = rho * vp * vp - 2.0 * mu_v;
             mu.as_mut_slice()[i] = mu_v;

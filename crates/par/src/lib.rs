@@ -4,26 +4,45 @@
 //! OpenMP plays in the paper's generated C code ("OpenMP shared-memory
 //! parallelism with dynamic scheduling", §IV.A).
 //!
-//! Built on [rayon]'s work-stealing pool, with an explicit escape hatch to
-//! force sequential execution: temporal-blocking measurements want a
-//! controlled thread count, and tiny problem sizes (unit tests) should not
-//! pay fork/join overhead.
+//! Built on a self-contained persistent thread pool (std-only; no external
+//! crates, so the workspace builds in hermetic environments), with an
+//! explicit escape hatch to force sequential execution: temporal-blocking
+//! measurements want a controlled thread count, and tiny problem sizes
+//! (unit tests) should not pay fork/join overhead.
+//!
+//! Thread count control, in priority order:
+//! 1. the `TEMPEST_THREADS` environment variable (read once, at pool
+//!    creation — this is how the paper's per-thread-count sweeps are made
+//!    reproducible across runs);
+//! 2. [`std::thread::available_parallelism`].
+//!
+//! Within a process, [`Policy::Capped`] restricts one dispatch to a subset
+//! of the pool (the thread-scaling benchmark sweeps this without
+//! re-launching the process).
 //!
 //! The schedules in `tempest-tiling` hand this crate *lists of independent
 //! work items* (space blocks of one timestep, or same-diagonal wave-front
-//! tiles); this crate decides how to run them.
+//! tiles); this crate decides how to run them. Scheduling is dynamic: items
+//! are claimed from a shared atomic counter, so imbalanced items (clipped
+//! boundary tiles vs. interior tiles) do not idle workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use rayon::prelude::*;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Execution policy for a batch of independent work items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Run items one after another on the calling thread.
     Sequential,
-    /// Run items on the global rayon pool (dynamic scheduling).
+    /// Run items on the shared pool (dynamic scheduling, all threads).
     Parallel,
+    /// Run items on the shared pool, but on at most this many threads
+    /// (including the calling thread). `Capped { threads: 1 }` is
+    /// sequential execution.
+    Capped {
+        /// Maximum number of participating threads.
+        threads: usize,
+    },
     /// Parallel if at least this many items, else sequential.
     Auto {
         /// Minimum batch size that justifies fork/join overhead.
@@ -42,11 +61,204 @@ impl Default for Policy {
     }
 }
 
-/// Number of threads the global pool will use.
+/// Number of threads the shared pool uses.
+///
+/// `TEMPEST_THREADS` (if set to a positive integer) wins over the hardware
+/// count. Cached: the hot schedule paths call this once per dispatch, and
+/// neither the env lookup nor the `available_parallelism` syscall belongs
+/// there.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("TEMPEST_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------------
+
+/// One published batch: an erased `fn(item_index)` plus dynamic-scheduling
+/// state. Workers claim indices from `next` until exhausted.
+struct Job {
+    /// Type-erased item runner. Points at a closure on the publishing
+    /// caller's stack; the caller blocks until `done == n`, which keeps the
+    /// referent alive for every dereference (claims check `i < n` first).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed item.
+    next: AtomicUsize,
+    /// Item count.
+    n: usize,
+    /// Completed items; the job is finished when this reaches `n`.
+    done: AtomicUsize,
+    /// Signalled by the worker completing the last item.
+    finished: Mutex<bool>,
+    /// Paired with `finished`.
+    finished_cv: Condvar,
+}
+
+// SAFETY: `func` is only dereferenced while the publishing caller provably
+// waits (see `run_batch`), and the referent is `Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim-and-run items until the batch is drained.
+    fn help(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: i < n ⇒ the batch is not yet complete ⇒ the caller is
+            // still parked in `run_batch`, keeping `func` alive.
+            unsafe { (*self.func)(i) };
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                let mut fin = self.finished.lock().unwrap();
+                *fin = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Sequence-numbered board contents: the current job and its thread cap.
+type Posted = (u64, Option<(Arc<Job>, usize)>);
+
+/// Publication slot shared between callers and workers.
+struct Board {
+    /// Monotone sequence number and the current job with its thread cap.
+    slot: Mutex<Posted>,
+    /// Signalled on publication.
+    cv: Condvar,
+}
+
+struct Pool {
+    board: Arc<Board>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = available_threads().saturating_sub(1);
+        let board = Arc::new(Board {
+            slot: Mutex::new((0, None)),
+            cv: Condvar::new(),
+        });
+        for id in 0..workers {
+            let board = Arc::clone(&board);
+            std::thread::Builder::new()
+                .name(format!("tempest-par-{id}"))
+                .spawn(move || worker_loop(id, board))
+                .expect("spawn pool worker");
+        }
+        Pool { board, workers }
+    })
+}
+
+fn worker_loop(id: usize, board: Arc<Board>) {
+    let mut last_seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = board.slot.lock().unwrap();
+            loop {
+                if slot.0 != last_seen {
+                    last_seen = slot.0;
+                    break slot.1.clone();
+                }
+                slot = board.cv.wait(slot).unwrap();
+            }
+        };
+        if let Some((job, cap)) = job {
+            // Caller counts as one participant; workers 0..cap-1 join it.
+            if id + 1 < cap {
+                job.help();
+            }
+        }
+    }
+}
+
+/// Run `f(0..n)` with up to `cap` threads (including the caller). The
+/// caller always participates and returns only when every item completed.
+fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let p = pool();
+    if n == 1 || cap <= 1 || p.workers == 0 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let job = Arc::new(Job {
+        // Erase the lifetime: sound because this function does not return
+        // until `done == n` (see the wait below) and no item can start
+        // after that.
+        func: unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f as *const _,
+            )
+        },
+        next: AtomicUsize::new(0),
+        n,
+        done: AtomicUsize::new(0),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+    });
+    {
+        let mut slot = p.board.slot.lock().unwrap();
+        slot.0 += 1;
+        slot.1 = Some((Arc::clone(&job), cap));
+        p.board.cv.notify_all();
+    }
+    // The caller works too — and afterwards waits for stragglers.
+    job.help();
+    let mut fin = job.finished.lock().unwrap();
+    while !*fin {
+        // The final `help` return races the last worker's notify; the
+        // timeout turns a lost wakeup into a bounded re-check, never a hang.
+        let (guard, _) = job
+            .finished_cv
+            .wait_timeout(fin, std::time::Duration::from_millis(1))
+            .unwrap();
+        fin = guard;
+        if job.done.load(Ordering::Acquire) == job.n {
+            break;
+        }
+    }
+}
+
+/// Resolve a policy to Sequential / a thread cap for `n` items.
+fn effective(policy: Policy, n: usize) -> Policy {
+    match policy {
+        Policy::Auto { min_items } => {
+            if n >= min_items && available_threads() > 1 {
+                Policy::Parallel
+            } else {
+                Policy::Sequential
+            }
+        }
+        Policy::Capped { threads } if threads <= 1 => Policy::Sequential,
+        p => p,
+    }
+}
+
+fn cap_of(policy: Policy) -> usize {
+    match policy {
+        Policy::Capped { threads } => threads,
+        _ => usize::MAX,
+    }
 }
 
 /// Apply `f` to every item, under the given policy.
@@ -57,7 +269,7 @@ where
 {
     match effective(policy, items.len()) {
         Policy::Sequential => items.iter().for_each(&f),
-        _ => items.par_iter().for_each(f),
+        p => run_batch(items.len(), cap_of(p), &|i| f(&items[i])),
     }
 }
 
@@ -68,7 +280,7 @@ where
 {
     match effective(policy, n) {
         Policy::Sequential => (0..n).for_each(f),
-        _ => (0..n).into_par_iter().for_each(f),
+        p => run_batch(n, cap_of(p), &f),
     }
 }
 
@@ -81,16 +293,26 @@ where
     F: Fn(usize, &mut [T]) + Sync + Send,
 {
     assert!(chunk > 0, "chunk size must be non-zero");
-    let n = data.len().div_ceil(chunk);
+    let len = data.len();
+    let n = len.div_ceil(chunk);
     match effective(policy, n) {
         Policy::Sequential => data
             .chunks_mut(chunk)
             .enumerate()
             .for_each(|(i, c)| f(i, c)),
-        _ => data
-            .par_chunks_mut(chunk)
-            .enumerate()
-            .for_each(|(i, c)| f(i, c)),
+        p => {
+            let base = data.as_mut_ptr() as usize;
+            run_batch(n, cap_of(p), &|i| {
+                let start = i * chunk;
+                let end = (start + chunk).min(len);
+                // SAFETY: chunk i covers [start, end) — indices are claimed
+                // at most once, so the slices are disjoint.
+                let s = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                };
+                f(i, s);
+            });
+        }
     }
 }
 
@@ -103,20 +325,30 @@ where
 {
     match effective(policy, items.len()) {
         Policy::Sequential => items.iter().map(f).collect(),
-        _ => items.par_iter().map(f).collect(),
-    }
-}
-
-fn effective(policy: Policy, n: usize) -> Policy {
-    match policy {
-        Policy::Auto { min_items } => {
-            if n >= min_items && available_threads() > 1 {
-                Policy::Parallel
-            } else {
-                Policy::Sequential
+        p => {
+            let n = items.len();
+            let mut out: Vec<std::mem::MaybeUninit<U>> = Vec::with_capacity(n);
+            // SAFETY: every slot in 0..n is written exactly once below
+            // before assume-init.
+            unsafe { out.set_len(n) };
+            let base = out.as_mut_ptr() as usize;
+            run_batch(n, cap_of(p), &|i| {
+                let v = f(&items[i]);
+                // SAFETY: slot i is owned by the claimant of index i.
+                unsafe {
+                    (base as *mut std::mem::MaybeUninit<U>)
+                        .add(i)
+                        .write(std::mem::MaybeUninit::new(v));
+                }
+            });
+            // SAFETY: run_batch returns only after all n writes completed.
+            unsafe {
+                let ptr = out.as_mut_ptr() as *mut U;
+                let cap = out.capacity();
+                std::mem::forget(out);
+                Vec::from_raw_parts(ptr, n, cap)
             }
         }
-        p => p,
     }
 }
 
@@ -152,7 +384,12 @@ mod tests {
     #[test]
     fn for_each_visits_all_items_once() {
         let items: Vec<u64> = (0..100).collect();
-        for policy in [Policy::Sequential, Policy::Parallel, Policy::default()] {
+        for policy in [
+            Policy::Sequential,
+            Policy::Parallel,
+            Policy::Capped { threads: 2 },
+            Policy::default(),
+        ] {
             let sum = AtomicU64::new(0);
             for_each(policy, &items, |&v| {
                 sum.fetch_add(v, Ordering::Relaxed);
@@ -201,6 +438,65 @@ mod tests {
     }
 
     #[test]
+    fn capped_one_is_sequential() {
+        assert_eq!(
+            effective(Policy::Capped { threads: 1 }, 100),
+            Policy::Sequential
+        );
+    }
+
+    #[test]
+    fn repeated_dispatches_are_stable() {
+        // Exercises job publication/retirement across many rounds — the
+        // path the per-slab wavefront barriers hit.
+        let items: Vec<usize> = (0..37).collect();
+        for round in 0..200 {
+            let sum = AtomicUsize::new(0);
+            for_each(Policy::Parallel, &items, |&v| {
+                sum.fetch_add(v + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 666 + 37 * round);
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        let outer: Vec<usize> = (0..8).collect();
+        let total = AtomicUsize::new(0);
+        for_each(Policy::Parallel, &outer, |_| {
+            let inner: Vec<usize> = (0..8).collect();
+            for_each(Policy::Parallel, &inner, |&v| {
+                total.fetch_add(v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 28);
+    }
+
+    #[test]
+    fn concurrent_top_level_dispatches() {
+        // Two threads race independent batches through the shared board;
+        // each caller participates, so both complete even if no worker
+        // helps either.
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let items: Vec<usize> = (0..100).collect();
+                    for _ in 0..50 {
+                        let sum = AtomicUsize::new(0);
+                        for_each(Policy::Parallel, &items, |&v| {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        });
+                        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn progress_accumulates() {
         let p = Progress::new();
         assert_eq!(p.add(3), 3);
@@ -209,8 +505,9 @@ mod tests {
     }
 
     #[test]
-    fn available_threads_positive() {
+    fn available_threads_positive_and_cached() {
         assert!(available_threads() >= 1);
+        assert_eq!(available_threads(), available_threads());
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Sets of sparse off-the-grid points (sources or receivers) and the layout
 //! generators used by the paper's experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tempest_grid::Rng64;
 use tempest_grid::Domain;
 
 /// A set of off-the-grid positions in physical coordinates.
@@ -106,15 +105,15 @@ impl SparsePoints {
     /// `n` uniformly random points within the inner 90% of the domain.
     pub fn random(domain: &Domain, n: usize, seed: u64) -> Self {
         assert!(n > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let e = domain.extent();
         let o = domain.origin();
         let coords = (0..n)
             .map(|_| {
                 [
-                    o[0] + e[0] * rng.gen_range(0.05..0.95),
-                    o[1] + e[1] * rng.gen_range(0.05..0.95),
-                    o[2] + e[2] * rng.gen_range(0.05..0.95),
+                    o[0] + e[0] * rng.range_f32(0.05, 0.95),
+                    o[1] + e[1] * rng.range_f32(0.05, 0.95),
+                    o[2] + e[2] * rng.range_f32(0.05, 0.95),
                 ]
             })
             .collect();

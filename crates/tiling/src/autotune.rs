@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 /// One tunable schedule configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Candidate {
     /// Spatial tile extent along x.
     pub tile_x: usize,
@@ -23,16 +23,43 @@ pub struct Candidate {
     pub block_x: usize,
     /// Intra-slab block extent along y.
     pub block_y: usize,
+    /// Use the diagonal-parallel tile executor instead of slab-ordered
+    /// execution (same tile geometry, coarser parallel grain).
+    pub diagonal: bool,
+}
+
+impl Candidate {
+    /// The same tile geometry with the diagonal-parallel executor.
+    pub fn with_diagonal(mut self) -> Self {
+        self.diagonal = true;
+        self
+    }
 }
 
 impl std::fmt::Display for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "tile {}x{} t{} / block {}x{}",
-            self.tile_x, self.tile_y, self.tile_t, self.block_x, self.block_y
+            "tile {}x{} t{} / block {}x{}{}",
+            self.tile_x,
+            self.tile_y,
+            self.tile_t,
+            self.block_x,
+            self.block_y,
+            if self.diagonal { " / diag" } else { "" }
         )
     }
+}
+
+/// Duplicate each candidate with the diagonal-parallel executor enabled, so
+/// a sweep compares both execution modes over the same tile geometries.
+pub fn with_diagonal_variants(cands: &[Candidate]) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(cands.len() * 2);
+    for &c in cands {
+        out.push(c);
+        out.push(c.with_diagonal());
+    }
+    out
 }
 
 /// Outcome of a tuning sweep.
@@ -72,6 +99,7 @@ pub fn default_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candid
                     tile_t: tt,
                     block_x: bx,
                     block_y: bx,
+                    diagonal: false,
                 });
             }
         }
@@ -93,6 +121,7 @@ pub fn quick_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candidat
                 tile_t: tt,
                 block_x: 8,
                 block_y: 8,
+                diagonal: false,
             });
         }
     }
@@ -168,8 +197,24 @@ mod tests {
             tile_t: 8,
             block_x: 8,
             block_y: 8,
+            diagonal: false,
         };
         assert_eq!(format!("{c}"), "tile 64x64 t8 / block 8x8");
+        assert_eq!(format!("{}", c.with_diagonal()), "tile 64x64 t8 / block 8x8 / diag");
+    }
+
+    #[test]
+    fn diagonal_variants_double_the_sweep() {
+        let base = quick_candidates(64, 64, &[4, 8]);
+        let both = with_diagonal_variants(&base);
+        assert_eq!(both.len(), 2 * base.len());
+        assert_eq!(both.iter().filter(|c| c.diagonal).count(), base.len());
+        // Geometry is preserved; only the executor flag differs.
+        for pair in both.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(!a.diagonal && b.diagonal);
+            assert_eq!(a.with_diagonal(), b);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!    `vt − 1` value it must read has been overwritten (Fig. 7's "the green
 //!    value substitutes the yellow one" is only safe behind the wave-front).
 
-use crate::wavefront::Slab;
+use crate::wavefront::{diagonals, tile_slab, Slab, Tile, WavefrontSpec};
 use tempest_grid::{Array2, Shape};
 
 /// Dependency model of a propagator for legality checking.
@@ -159,10 +159,115 @@ where
     Ok(())
 }
 
+/// A dependency conflict between two tiles scheduled concurrently on the
+/// same anti-diagonal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalConflict {
+    /// The reading/writing tile.
+    pub tile_a: Tile,
+    /// Its virtual step.
+    pub vt_a: usize,
+    /// The concurrently writing tile.
+    pub tile_b: Tile,
+    /// Its virtual step.
+    pub vt_b: usize,
+    /// `true` when the conflict is a same-ring-slot write/write overlap,
+    /// `false` when tile B writes a slot tile A concurrently reads.
+    pub write_write: bool,
+}
+
+/// Do the x/y footprints of two slabs overlap? (`z` is always full.)
+fn xy_overlap(a: &Slab, b: &Slab) -> bool {
+    a.range.x0 < b.range.x1
+        && b.range.x0 < a.range.x1
+        && a.range.y0 < b.range.y1
+        && b.range.y0 < a.range.y1
+}
+
+/// Verify that every pair of same-diagonal tiles under `spec` is
+/// dependency-disjoint — the soundness condition of
+/// [`crate::wavefront::execute_diagonal`].
+///
+/// Tiles on one anti-diagonal run concurrently with no ordering between
+/// them, so tile A executing step `va` may coincide with tile B executing
+/// any step `vb` of the same time tile. Writing step `v` targets ring slot
+/// `v mod levels`, and reading step `v` touches every *other* slot (the
+/// `levels − 1` preceding values). Hence for each pair and each `(va, vb)`:
+///
+/// * `va ≡ vb (mod levels)` — B writes the one slot A does not read; only a
+///   write/write overlap on the same slot could race, so the two write
+///   footprints must be spatially disjoint.
+/// * otherwise — B's written slot is among A's read slots, so B's write
+///   footprint must be disjoint from A's read footprint (its slab dilated
+///   by `radius` in x and y, clamped to the grid).
+///
+/// Geometrically both hold whenever `skew ≥ radius`: same-diagonal tiles
+/// recede in opposite senses along the diagonal, so their footprints can
+/// only touch at equal step offsets — where the slot arithmetic separates
+/// them. This function checks the actual clamped footprints, so it also
+/// certifies boundary tiles. Domain clamping only shrinks regions and can
+/// never create an overlap that the unclamped geometry excludes.
+pub fn check_diagonal_independence(
+    shape: Shape,
+    nvt: usize,
+    model: DepModel,
+    spec: &WavefrontSpec,
+) -> Result<(), DiagonalConflict> {
+    assert!(model.levels >= 2, "time buffers have at least 2 levels");
+    let r = model.radius;
+    let dilate = |s: &Slab| Slab {
+        vt: s.vt,
+        range: tempest_grid::Range3::new(
+            (s.range.x0.saturating_sub(r), (s.range.x1 + r).min(shape.nx)),
+            (s.range.y0.saturating_sub(r), (s.range.y1 + r).min(shape.ny)),
+            (s.range.z0, s.range.z1),
+        ),
+    };
+    let mut t0 = 0usize;
+    while t0 < nvt {
+        let t1 = (t0 + spec.tile_t).min(nvt);
+        for group in diagonals(shape, spec, t0, t1) {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    for (a, b) in [(a, b), (b, a)] {
+                        for va in a.t0..a.t1 {
+                            let Some(sa) = tile_slab(shape, spec, a, va) else {
+                                continue;
+                            };
+                            let ra = dilate(&sa);
+                            for vb in b.t0..b.t1 {
+                                let Some(sb) = tile_slab(shape, spec, b, vb) else {
+                                    continue;
+                                };
+                                let conflict = if va % model.levels == vb % model.levels {
+                                    xy_overlap(&sa, &sb)
+                                } else {
+                                    xy_overlap(&ra, &sb)
+                                };
+                                if conflict {
+                                    return Err(DiagonalConflict {
+                                        tile_a: *a,
+                                        vt_a: va,
+                                        tile_b: *b,
+                                        vt_b: vb,
+                                        write_write: va % model.levels == vb % model.levels,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        t0 = t1;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wavefront::{slabs, WavefrontSpec};
+    use crate::wavefront::{diagonal_slabs, slabs};
     use tempest_grid::Range3;
 
     const SHAPE: Shape = Shape {
@@ -300,6 +405,120 @@ mod tests {
         // (the left ran ahead — for the left's *own* columns the right is
         // missing, caught at the left's vt=1 slab).
         assert!(res.is_err(), "{res:?}");
+    }
+
+    #[test]
+    fn diagonal_serialisation_passes_replay_checker() {
+        // The canonical diagonal-major serialisation is a valid schedule by
+        // the independent replay-based checker.
+        for (radius, levels, tile_t) in [(1usize, 3usize, 4usize), (2, 3, 4), (2, 2, 2), (4, 3, 8)]
+        {
+            let spec = WavefrontSpec::new(8, 8, tile_t, radius, 4, 4);
+            let sched = diagonal_slabs(SHAPE, 9, &spec);
+            assert_eq!(
+                check_schedule(SHAPE, 9, DepModel { radius, levels }, sched),
+                Ok(()),
+                "radius {radius} levels {levels} tile_t {tile_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_independence_holds_for_legal_skew() {
+        for radius in [0usize, 1, 2, 4] {
+            for levels in [2usize, 3] {
+                for tile_t in [1usize, 2, 4, 8] {
+                    let spec = WavefrontSpec::new(8, 8, tile_t, radius.max(1), 4, 4);
+                    assert_eq!(
+                        check_diagonal_independence(SHAPE, 9, DepModel { radius, levels }, &spec),
+                        Ok(()),
+                        "radius {radius} levels {levels} tile_t {tile_t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_independence_rejects_shallow_skew() {
+        // skew < radius: a tile one step ahead has not receded past its
+        // diagonal neighbour's read halo.
+        let spec = WavefrontSpec::new(8, 8, 4, 1, 4, 4);
+        let model = DepModel {
+            radius: 2,
+            levels: 3,
+        };
+        let res = check_diagonal_independence(SHAPE, 9, model, &spec);
+        let c = res.expect_err("shallow skew must conflict");
+        assert_eq!(c.tile_a.diagonal(), c.tile_b.diagonal());
+        assert!(!c.write_write);
+        assert_ne!(c.vt_a, c.vt_b, "conflicts only arise between step offsets");
+    }
+
+    #[test]
+    fn diagonal_independence_randomised_specs() {
+        // Property test: any spec with skew ≥ radius is diagonal-safe, and
+        // every random interleaving of same-diagonal tile streams replays
+        // cleanly through check_schedule. With skew < radius (and real
+        // coupling plus tile_t ≥ 2) a conflict must be reported.
+        let mut rng = tempest_grid::Rng64::new(0xD1A6);
+        for case in 0..40 {
+            let radius = rng.range_usize(0, 4);
+            let levels = rng.range_usize(2, 4);
+            let tile = rng.range_usize(2, 12);
+            let tile_t = rng.range_usize(1, 6);
+            let skew = radius + rng.range_usize(0, 3);
+            let nvt = rng.range_usize(1, 9);
+            let shape = Shape::new(rng.range_usize(8, 28), rng.range_usize(8, 28), 2);
+            let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
+            let model = DepModel { radius, levels };
+            assert_eq!(
+                check_diagonal_independence(shape, nvt, model, &spec),
+                Ok(()),
+                "case {case}: {spec:?} radius {radius} levels {levels}"
+            );
+            // Random interleaving of the concurrent tiles on each diagonal.
+            let mut sched = Vec::new();
+            let mut t0 = 0usize;
+            while t0 < nvt {
+                let t1 = (t0 + spec.tile_t).min(nvt);
+                for group in crate::wavefront::diagonals(shape, &spec, t0, t1) {
+                    let mut pos: Vec<usize> = vec![t0; group.len()];
+                    let mut remaining: usize = group.len() * (t1 - t0);
+                    while remaining > 0 {
+                        let k = rng.range_usize(0, group.len());
+                        if pos[k] == t1 {
+                            continue;
+                        }
+                        if let Some(s) = tile_slab(shape, &spec, &group[k], pos[k]) {
+                            sched.push(s);
+                        }
+                        pos[k] += 1;
+                        remaining -= 1;
+                    }
+                }
+                t0 = t1;
+            }
+            assert_eq!(
+                check_schedule(shape, nvt, model, sched),
+                Ok(()),
+                "case {case}: interleaved diagonal serialisation"
+            );
+        }
+        // Illegal side: skew strictly below radius.
+        for case in 0..20 {
+            let radius = rng.range_usize(1, 5);
+            let skew = rng.range_usize(0, radius);
+            let tile_t = rng.range_usize(2, 6);
+            let tile = rng.range_usize(2, 10);
+            let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
+            let model = DepModel { radius, levels: 3 };
+            let shape = Shape::new(24, 24, 2);
+            assert!(
+                check_diagonal_independence(shape, 8, model, &spec).is_err(),
+                "case {case}: skew {skew} < radius {radius} must conflict ({spec:?})"
+            );
+        }
     }
 
     #[test]

@@ -24,8 +24,17 @@
 //! second reading same-timestep values of the first — Fig. 8b) map each
 //! phase to its own virtual step, which automatically widens the skew.
 //!
+//! The wave-front schedule has two executors: slab-ordered
+//! ([`wavefront::execute`]) parallelises the blocks of one slab between
+//! barriers, while diagonal-parallel ([`wavefront::execute_diagonal`]) runs
+//! whole same-anti-diagonal space-time tiles concurrently with one barrier
+//! per diagonal — a coarser grain with ~`tile_t×` fewer synchronisation
+//! points and bitwise-identical results.
+//!
 //! [`legality`] provides a dependency checker that validates any schedule
-//! against the stencil's radius and the circular time-buffer depth, and
+//! against the stencil's radius and the circular time-buffer depth
+//! (including the tile-disjointness proof obligation of the diagonal
+//! executor, [`legality::check_diagonal_independence`]), and
 //! [`autotune()`](autotune()) sweeps tile/block shapes (§IV.C, Table I).
 
 pub mod autotune;
@@ -33,6 +42,6 @@ pub mod legality;
 pub mod spaceblock;
 pub mod wavefront;
 
-pub use autotune::{autotune, Candidate, TuneResult};
+pub use autotune::{autotune, with_diagonal_variants, Candidate, TuneResult};
 pub use spaceblock::SpaceBlockSpec;
-pub use wavefront::{Slab, WavefrontSpec};
+pub use wavefront::{Slab, Tile, WavefrontSpec};

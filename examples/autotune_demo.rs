@@ -13,7 +13,29 @@ use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
 use tempest::grid::{Domain, Model, Shape};
 use tempest::par::Policy;
 use tempest::sparse::SparsePoints;
-use tempest::tiling::{autotune, autotune::default_candidates};
+use tempest::tiling::{autotune, autotune::default_candidates, with_diagonal_variants, Candidate};
+
+/// Schedule for a candidate: slab-ordered or diagonal-parallel wave-front,
+/// per its `diagonal` flag.
+fn schedule_of(c: &Candidate) -> Schedule {
+    if c.diagonal {
+        Schedule::WavefrontDiagonal {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    } else {
+        Schedule::Wavefront {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    }
+}
 
 fn main() {
     let n = 128;
@@ -24,7 +46,9 @@ fn main() {
     let src = SparsePoints::single_center(&domain, 0.37);
     let mut solver = Acoustic::new(&model, cfg, src, None);
 
-    let cands = default_candidates(n, n, &[4, 8, 16]);
+    // Each tile geometry is tried under both wave-front executors
+    // (slab-ordered and diagonal-parallel — "/ diag" in the ranking).
+    let cands = with_diagonal_variants(&default_candidates(n, n, &[4, 8, 16]));
     println!(
         "sweeping {} candidates on a {n}³ grid, {nt} steps each…\n",
         cands.len()
@@ -32,13 +56,7 @@ fn main() {
 
     let result = autotune(&cands, |c| {
         let exec = Execution {
-            schedule: Schedule::Wavefront {
-                tile_x: c.tile_x,
-                tile_y: c.tile_y,
-                tile_t: c.tile_t,
-                block_x: c.block_x,
-                block_y: c.block_y,
-            },
+            schedule: schedule_of(c),
             sparse: SparseMode::FusedCompressed,
             policy: Policy::default(),
         };
@@ -66,13 +84,7 @@ fn main() {
     // Compare the tuned schedule against the baseline.
     let base = solver.run(&Execution::baseline());
     let tuned_exec = Execution {
-        schedule: Schedule::Wavefront {
-            tile_x: result.best.tile_x,
-            tile_y: result.best.tile_y,
-            tile_t: result.best.tile_t,
-            block_x: result.best.block_x,
-            block_y: result.best.block_y,
-        },
+        schedule: schedule_of(&result.best),
         sparse: SparseMode::FusedCompressed,
         policy: Policy::default(),
     };

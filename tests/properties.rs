@@ -1,43 +1,53 @@
-//! Property-based tests (proptest) over the core invariants:
-//! interpolation weights, the precomputation scheme, schedule coverage and
-//! legality, and FD coefficient exactness — randomised versions of the
-//! paper's structural claims.
+//! Property-style tests over the core invariants: interpolation weights,
+//! the precomputation scheme, schedule coverage and legality, and FD
+//! coefficient exactness — randomised versions of the paper's structural
+//! claims. Cases are drawn from a seeded [`Rng64`] stream (hermetic builds,
+//! no proptest), so every failure is reproducible.
 
-use proptest::prelude::*;
-use tempest::grid::{Domain, Shape};
+use tempest::grid::{Domain, Rng64, Shape};
 use tempest::sparse::wavelet::wavelet_matrix_scaled;
 use tempest::sparse::{trilinear, CompressedMask, SourcePrecompute, SparsePoints};
 use tempest::stencil::central_coeffs;
-use tempest::tiling::legality::{check_schedule, DepModel};
-use tempest::tiling::wavefront::{slabs, WavefrontSpec};
+use tempest::tiling::legality::{check_diagonal_independence, check_schedule, DepModel};
+use tempest::tiling::wavefront::{diagonal_slabs, slabs, WavefrontSpec};
+
+const CASES: usize = 64;
 
 fn small_domain() -> Domain {
     Domain::uniform(Shape::cube(12), 10.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Trilinear weights are a partition of unity with all weights in
-    /// [0, 1], for any point inside the domain.
-    #[test]
-    fn interp_partition_of_unity(fx in 0.0f32..1.0, fy in 0.0f32..1.0, fz in 0.0f32..1.0) {
+/// Trilinear weights are a partition of unity with all weights in
+/// [0, 1], for any point inside the domain.
+#[test]
+fn interp_partition_of_unity() {
+    let mut rng = Rng64::new(0xB1);
+    for _ in 0..CASES {
+        let (fx, fy, fz) = (rng.next_f32(), rng.next_f32(), rng.next_f32());
         let d = small_domain();
         let e = d.extent();
         let p = [fx * e[0], fy * e[1], fz * e[2]];
         let st = trilinear(&d, p);
         let sum: f32 = st.cells.iter().map(|&(_, w)| w).sum();
-        prop_assert!((sum - 1.0).abs() < 1e-5);
+        assert!((sum - 1.0).abs() < 1e-5);
         for (c, w) in &st.cells {
-            prop_assert!((0.0..=1.0).contains(w));
-            prop_assert!(d.shape().contains(c[0], c[1], c[2]));
+            assert!((0.0..=1.0).contains(w));
+            assert!(d.shape().contains(c[0], c[1], c[2]));
         }
     }
+}
 
-    /// The interpolated position of the weights' centroid reproduces the
-    /// query point (trilinear reproduces linear functions).
-    #[test]
-    fn interp_reproduces_coordinates(fx in 0.01f32..0.99, fy in 0.01f32..0.99, fz in 0.01f32..0.99) {
+/// The interpolated position of the weights' centroid reproduces the
+/// query point (trilinear reproduces linear functions).
+#[test]
+fn interp_reproduces_coordinates() {
+    let mut rng = Rng64::new(0xB2);
+    for _ in 0..CASES {
+        let (fx, fy, fz) = (
+            rng.range_f32(0.01, 0.99),
+            rng.range_f32(0.01, 0.99),
+            rng.range_f32(0.01, 0.99),
+        );
         let d = small_domain();
         let e = d.extent();
         let p = [fx * e[0], fy * e[1], fz * e[2]];
@@ -48,14 +58,19 @@ proptest! {
                 .iter()
                 .map(|&(c, w)| w * d.coord_of(c[0], c[1], c[2])[axis])
                 .sum();
-            prop_assert!((val - pa).abs() < 1e-2, "axis {}: {} vs {}", axis, val, pa);
+            assert!((val - pa).abs() < 1e-2, "axis {}: {} vs {}", axis, val, pa);
         }
     }
+}
 
-    /// SM/SID consistency for random source sets: mask ⇔ id, ids dense and
-    /// ascending, every source footprint covered.
-    #[test]
-    fn precompute_mask_id_invariants(seed in 0u64..1000, n in 1usize..12) {
+/// SM/SID consistency for random source sets: mask ⇔ id, ids dense and
+/// ascending, every source footprint covered.
+#[test]
+fn precompute_mask_id_invariants() {
+    let mut rng = Rng64::new(0xB3);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
+        let n = rng.range_usize(1, 12);
         let d = small_domain();
         let pts = SparsePoints::random(&d, n, seed);
         let w = wavelet_matrix_scaled(&[1.0, -0.5, 0.25], &vec![1.0; n]);
@@ -64,28 +79,33 @@ proptest! {
         for (x, y, z) in d.shape().iter() {
             let m = pre.sm.get(x, y, z);
             let id = pre.sid.get(x, y, z);
-            prop_assert_eq!(m == 1, id >= 0);
+            assert_eq!(m == 1, id >= 0);
             if id >= 0 {
-                prop_assert_eq!(id, next);
+                assert_eq!(id, next);
                 next += 1;
             }
         }
-        prop_assert_eq!(next as usize, pre.npts());
-        prop_assert!(pre.npts() <= 8 * n);
+        assert_eq!(next as usize, pre.npts());
+        assert!(pre.npts() <= 8 * n);
         // Probe construction agrees with the analytic one.
         let probed = SourcePrecompute::build_probed(&d, &pts, &w);
-        prop_assert_eq!(&pre.points, &probed.points);
+        assert_eq!(&pre.points, &probed.points);
     }
+}
 
-    /// The compressed mask is a lossless re-indexing of SID.
-    #[test]
-    fn compressed_mask_lossless(seed in 0u64..1000, n in 1usize..12) {
+/// The compressed mask is a lossless re-indexing of SID.
+#[test]
+fn compressed_mask_lossless() {
+    let mut rng = Rng64::new(0xB4);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
+        let n = rng.range_usize(1, 12);
         let d = small_domain();
         let pts = SparsePoints::random(&d, n, seed);
         let w = wavelet_matrix_scaled(&[1.0], &vec![1.0; n]);
         let pre = SourcePrecompute::build(&d, &pts, &w);
         let comp = CompressedMask::build(&pre.sid);
-        prop_assert_eq!(comp.total(), pre.npts());
+        assert_eq!(comp.total(), pre.npts());
         let s = d.shape();
         for x in 0..s.nx {
             for y in 0..s.ny {
@@ -96,23 +116,25 @@ proptest! {
                         (id >= 0).then_some((z, id as usize))
                     })
                     .collect();
-                prop_assert_eq!(from_comp, from_sid);
+                assert_eq!(from_comp, from_sid);
             }
         }
     }
+}
 
-    /// Wave-front schedules cover every (vt, x, y) exactly once, whatever
-    /// the tile geometry.
-    #[test]
-    fn wavefront_coverage(
-        nx in 4usize..24,
-        ny in 4usize..24,
-        tile_x in 1usize..16,
-        tile_y in 1usize..16,
-        tile_t in 1usize..6,
-        skew in 0usize..4,
-        nvt in 1usize..8,
-    ) {
+/// Wave-front schedules cover every (vt, x, y) exactly once, whatever
+/// the tile geometry.
+#[test]
+fn wavefront_coverage() {
+    let mut rng = Rng64::new(0xB5);
+    for _ in 0..CASES {
+        let nx = rng.range_usize(4, 24);
+        let ny = rng.range_usize(4, 24);
+        let tile_x = rng.range_usize(1, 16);
+        let tile_y = rng.range_usize(1, 16);
+        let tile_t = rng.range_usize(1, 6);
+        let skew = rng.range_usize(0, 4);
+        let nvt = rng.range_usize(1, 8);
         let shape = Shape::new(nx, ny, 2);
         let spec = WavefrontSpec::new(tile_x, tile_y, tile_t, skew, 4, 4);
         let mut counts = vec![0u32; nvt * nx * ny];
@@ -123,40 +145,84 @@ proptest! {
                 }
             }
         }
-        prop_assert!(counts.iter().all(|&c| c == 1));
+        assert!(counts.iter().all(|&c| c == 1));
     }
+}
 
-    /// Schedules with skew ≥ radius pass the legality checker for both
-    /// buffer depths (the paper's Fig. 7 angle condition).
-    #[test]
-    fn wavefront_legality(
-        radius in 0usize..4,
-        extra in 0usize..3,
-        tile in 2usize..12,
-        tile_t in 1usize..6,
-        levels in 2usize..4,
-    ) {
+/// Schedules with skew ≥ radius pass the legality checker for both
+/// buffer depths (the paper's Fig. 7 angle condition).
+#[test]
+fn wavefront_legality() {
+    let mut rng = Rng64::new(0xB6);
+    for _ in 0..CASES {
+        let radius = rng.range_usize(0, 4);
+        let extra = rng.range_usize(0, 3);
+        let tile = rng.range_usize(2, 12);
+        let tile_t = rng.range_usize(1, 6);
+        let levels = rng.range_usize(2, 4);
         let shape = Shape::new(18, 14, 2);
         let skew = radius + extra;
         let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
         let sched = slabs(shape, 7, &spec);
-        prop_assert_eq!(
+        assert_eq!(
             check_schedule(shape, 7, DepModel { radius, levels }, sched),
-            Ok(())
+            Ok(()),
+            "radius {radius} skew {skew} tile {tile} tile_t {tile_t} levels {levels}"
         );
     }
+}
 
-    /// Central second-derivative weights: symmetric, zero-sum, correct
-    /// second moment — for every even order.
-    #[test]
-    fn fd_weight_invariants(half in 1usize..9) {
+/// Diagonal-parallel wave-front schedules: for any spec with skew ≥ radius,
+/// (a) same-diagonal tiles have pairwise-disjoint dependency footprints
+/// (the static independence checker passes), (b) the diagonal-major
+/// serialisation covers every space-time point exactly once and replays
+/// cleanly through the dependency checker.
+#[test]
+fn diagonal_wavefront_legality() {
+    let mut rng = Rng64::new(0xB8);
+    for _ in 0..CASES {
+        let radius = rng.range_usize(0, 4);
+        let skew = radius + rng.range_usize(0, 3);
+        let tile = rng.range_usize(2, 12);
+        let tile_t = rng.range_usize(1, 6);
+        let levels = rng.range_usize(2, 4);
+        let nvt = rng.range_usize(1, 8);
+        let (nx, ny) = (rng.range_usize(6, 24), rng.range_usize(6, 24));
+        let shape = Shape::new(nx, ny, 2);
+        let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
+        let model = DepModel { radius, levels };
+        let ctx = format!("radius {radius} skew {skew} tile {tile} tile_t {tile_t} levels {levels}");
+        assert_eq!(
+            check_diagonal_independence(shape, nvt, model, &spec),
+            Ok(()),
+            "independence: {ctx}"
+        );
+        let sched = diagonal_slabs(shape, nvt, &spec);
+        let mut counts = vec![0u32; nvt * nx * ny];
+        for s in &sched {
+            for x in s.range.x0..s.range.x1 {
+                for y in s.range.y0..s.range.y1 {
+                    counts[(s.vt * nx + x) * ny + y] += 1;
+                }
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "coverage: {ctx}");
+        assert_eq!(check_schedule(shape, nvt, model, sched), Ok(()), "replay: {ctx}");
+    }
+}
+
+/// Central second-derivative weights: symmetric, zero-sum, correct
+/// second moment — for every even order.
+#[test]
+fn fd_weight_invariants() {
+    for half in 1usize..9 {
         let order = 2 * half;
         let w = central_coeffs(2, order);
         let r = order / 2;
         let sum: f64 = w.iter().sum();
-        prop_assert!(sum.abs() < 1e-9);
+        assert!(sum.abs() < 1e-9);
         for k in 1..=r {
-            prop_assert!((w[r + k] - w[r - k]).abs() < 1e-11);
+            assert!((w[r + k] - w[r - k]).abs() < 1e-11);
         }
         // Second moment Σ w_k k² = 2 (that's what makes it a 2nd derivative).
         let m2: f64 = w
@@ -167,14 +233,19 @@ proptest! {
                 wk * k * k
             })
             .sum();
-        prop_assert!((m2 - 2.0).abs() < 1e-8, "order {}: m2 {}", order, m2);
+        assert!((m2 - 2.0).abs() < 1e-8, "order {}: m2 {}", order, m2);
     }
+}
 
-    /// Decomposed injection (src_dcmp) conserves total injected amplitude:
-    /// Σ_id dcmp[t][id] = Σ_s src[t][s] (partition of unity summed over
-    /// footprints).
-    #[test]
-    fn decomposition_conserves_amplitude(seed in 0u64..500, n in 1usize..10) {
+/// Decomposed injection (src_dcmp) conserves total injected amplitude:
+/// Σ_id dcmp[t][id] = Σ_s src[t][s] (partition of unity summed over
+/// footprints).
+#[test]
+fn decomposition_conserves_amplitude() {
+    let mut rng = Rng64::new(0xB7);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 500;
+        let n = rng.range_usize(1, 10);
         let d = small_domain();
         let pts = SparsePoints::random(&d, n, seed);
         let amps: Vec<f32> = (0..n).map(|i| 1.0 + i as f32 * 0.5).collect();
@@ -185,9 +256,12 @@ proptest! {
                 .map(|id| pre.src_dcmp.get(t, id) as f64)
                 .sum();
             let total_src: f64 = (0..n).map(|s| w.get(t, s) as f64).sum();
-            prop_assert!(
+            assert!(
                 (total_dcmp - total_src).abs() < 1e-4 * total_src.abs().max(1.0),
-                "t {}: {} vs {}", t, total_dcmp, total_src
+                "t {}: {} vs {}",
+                t,
+                total_dcmp,
+                total_src
             );
         }
     }
