@@ -12,6 +12,40 @@ use tempest_core::WaveSolver;
 const N: usize = 48;
 const NT: usize = 4;
 
+/// `--profile`: one instrumented spatially blocked run per propagator,
+/// rendered as a per-phase table and written to `target/profile/*.json`.
+fn profile_section() {
+    tempest_obs::set_enabled(true);
+    let e = exec_spaceblocked(8, 8);
+    let mut profiled: Vec<(tempest_obs::Profile, tempest_obs::RunMeta)> = Vec::new();
+    {
+        let mut s = setup::acoustic(N, 8, NT, 0);
+        let (_, p, m) = s.run_profiled(&e);
+        profiled.push((p, m));
+    }
+    {
+        let mut s = setup::tti(N, 8, NT, 0);
+        let (_, p, m) = s.run_profiled(&e);
+        profiled.push((p, m));
+    }
+    {
+        let mut s = setup::elastic(N, 8, NT, 0);
+        let (_, p, m) = s.run_profiled(&e);
+        profiled.push((p, m));
+    }
+    for (profile, meta) in profiled {
+        if profile.is_empty() {
+            println!("profile: no samples for {} — build with --features obs", meta.name);
+            continue;
+        }
+        println!("{}", profile.render(&meta));
+        match profile.write_json(&meta) {
+            Ok(p) => println!("profile: wrote {}", p.display()),
+            Err(err) => eprintln!("profile: could not write JSON: {err}"),
+        }
+    }
+}
+
 fn main() {
     let cfg = Config::coarse();
     let e = exec_spaceblocked(8, 8);
@@ -29,5 +63,8 @@ fn main() {
         microbench::run_elems(&format!("propagator_step/elastic/{so}"), cfg, elems, || {
             black_box(s.run(&e).elapsed);
         });
+    }
+    if std::env::args().any(|a| a == "--profile") {
+        profile_section();
     }
 }

@@ -132,6 +132,38 @@ fn bench_thread_scaling(cfg: Config) {
     }
 }
 
+/// `--profile`: one instrumented run per schedule, rendered as a per-phase
+/// table and written to `target/profile/*.json`.
+fn profile_section() {
+    tempest_obs::set_enabled(true);
+    let cand = Candidate {
+        tile_x: 32,
+        tile_y: 32,
+        tile_t: 4,
+        block_x: 8,
+        block_y: 8,
+        diagonal: false,
+    };
+    let execs = [
+        exec_spaceblocked(8, 8),
+        exec_wavefront(&cand),
+        exec_wavefront(&cand.with_diagonal()),
+    ];
+    for e in execs {
+        let mut s = setup::acoustic(64, 4, 8, 0);
+        let (_, profile, meta) = s.run_profiled(&e);
+        if profile.is_empty() {
+            println!("profile: no samples for {} — build with --features obs", meta.schedule);
+            continue;
+        }
+        println!("{}", profile.render(&meta));
+        match profile.write_json(&meta) {
+            Ok(p) => println!("profile: wrote {}", p.display()),
+            Err(err) => eprintln!("profile: could not write JSON: {err}"),
+        }
+    }
+}
+
 fn main() {
     let cfg = Config::coarse();
     bench_slab_generation(cfg);
@@ -139,4 +171,7 @@ fn main() {
     bench_diagonal_checker(cfg);
     bench_schedules_end_to_end(cfg);
     bench_thread_scaling(cfg);
+    if std::env::args().any(|a| a == "--profile") {
+        profile_section();
+    }
 }

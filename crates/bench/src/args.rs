@@ -14,6 +14,9 @@ pub struct HarnessArgs {
     pub space_orders: Vec<usize>,
     /// Models to run (subset of "acoustic", "tti", "elastic").
     pub models: Vec<String>,
+    /// Emit per-phase profiles (rendered table + JSON under
+    /// `target/profile/`). Needs the `obs` feature to record anything.
+    pub profile: bool,
 }
 
 impl HarnessArgs {
@@ -31,6 +34,7 @@ impl HarnessArgs {
             fast: false,
             space_orders: vec![4, 8, 12],
             models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
+            profile: false,
         };
         let mut i = 1;
         while i < argv.len() {
@@ -70,11 +74,16 @@ impl HarnessArgs {
                 "--fast" => {
                     a.fast = true;
                 }
+                "--profile" => {
+                    a.profile = true;
+                    tempest_obs::set_enabled(true);
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --size N (grid edge) --nt N (timesteps) \
                          --so 4,8,12 (space orders) \
-                         --model acoustic,tti,elastic --fast (smoke test)"
+                         --model acoustic,tti,elastic --fast (smoke test) \
+                         --profile (per-phase profile table + JSON)"
                     );
                     std::process::exit(0);
                 }
@@ -116,6 +125,13 @@ mod tests {
         assert_eq!(a.size, 512);
         assert_eq!(a.nt, 64);
         assert_eq!(a.space_orders, vec![4, 8]);
+    }
+
+    #[test]
+    fn profile_flag() {
+        let a = HarnessArgs::parse_from(&sv(&["--profile"]), 64, 8);
+        assert!(a.profile);
+        assert!(!HarnessArgs::parse_from(&sv(&[]), 64, 8).profile);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use std::time::Duration;
 
 use tempest_core::{Execution, RunStats, WaveSolver};
 use tempest_core::operator::{Schedule, SparseMode};
+use tempest_obs as obs;
 use tempest_par::Policy;
-use tempest_tiling::{autotune, Candidate, TuneResult};
+use tempest_tiling::{autotune, autotune_measured, Candidate, MeasuredResult, Measurement, TuneResult};
 
 /// Execution for a WTB candidate (slab-ordered or diagonal-parallel,
 /// per the candidate's `diagonal` flag).
@@ -58,6 +59,60 @@ pub fn measure<S: WaveSolver>(s: &mut S, exec: &Execution, repeats: usize) -> Ru
         }
     }
     best.unwrap()
+}
+
+/// Best-of-`repeats` instrumented measurement: the fastest run's stats
+/// together with its profile and report metadata. The profile is empty
+/// unless the `obs` feature is compiled in and profiling is enabled.
+pub fn measure_profiled<S: WaveSolver>(
+    s: &mut S,
+    exec: &Execution,
+    repeats: usize,
+) -> (RunStats, obs::Profile, obs::RunMeta) {
+    assert!(repeats >= 1);
+    let mut best: Option<(RunStats, obs::Profile, obs::RunMeta)> = None;
+    for _ in 0..repeats {
+        let r = s.run_profiled(exec);
+        if best.as_ref().map(|b| r.0.elapsed < b.0.elapsed).unwrap_or(true) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+/// Like [`tune_wavefront`], but rank with measured telemetry: candidates
+/// within `tie_margin` of the fastest are separated by barrier-wait share
+/// (slab-ordered vs diagonal-parallel shapes often tie on time on short
+/// tuning runs; the synchronisation profile is the more stable signal).
+/// Without profiling compiled in/enabled this degrades to time-only
+/// ranking.
+pub fn tune_wavefront_measured<S: WaveSolver>(
+    s: &mut S,
+    cands: &[Candidate],
+    tie_margin: f64,
+) -> MeasuredResult {
+    autotune_measured(
+        cands,
+        |c| {
+            let e = exec_wavefront(c);
+            let (s1, p1, _) = s.run_profiled(&e);
+            let (s2, p2, _) = s.run_profiled(&e);
+            let (t, p) = if s1.elapsed <= s2.elapsed {
+                (s1.elapsed, p1)
+            } else {
+                (s2.elapsed, p2)
+            };
+            Measurement {
+                time: t,
+                barrier_share: if p.is_empty() {
+                    None
+                } else {
+                    Some(p.barrier_wait_share())
+                },
+            }
+        },
+        tie_margin,
+    )
 }
 
 /// Tune the baseline block shape over the standard candidates.
@@ -119,5 +174,18 @@ mod tests {
         assert!(bx >= 4 && by >= 4);
         let st = measure(&mut tuner, &exec_spaceblocked(bx, by), 2);
         assert!(st.gpoints_per_s > 0.0);
+    }
+
+    #[test]
+    fn measured_tuning_roundtrip() {
+        let mut tuner = setup::acoustic(16, 4, 8, 0);
+        let cands = candidates_for(16, 16, 8, true);
+        let res = tune_wavefront_measured(&mut tuner, &cands, 0.25);
+        assert!(res.best_measurement.time > Duration::ZERO);
+        assert_eq!(res.all.len(), cands.len());
+        let (st, _profile, meta) = measure_profiled(&mut tuner, &exec_spaceblocked(8, 8), 2);
+        assert!(st.gpoints_per_s > 0.0);
+        assert!(meta.elapsed_s > 0.0);
+        assert_eq!(meta.nt, 8);
     }
 }

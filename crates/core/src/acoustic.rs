@@ -16,9 +16,10 @@ use std::time::Instant;
 
 use crate::config::SimConfig;
 use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
-use crate::shared::LevelRing;
+use crate::shared::{LevelRing, RingCheckpoint};
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
+use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, Model, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{laplacian_at, laplacian_at_r, AxisWeights};
@@ -122,6 +123,11 @@ impl Acoustic {
         &self.src
     }
 
+    /// The receiver bundle, when receivers were attached.
+    pub fn receivers(&self) -> Option<&ReceiverBundle> {
+        self.rec.as_ref()
+    }
+
     fn reset(&mut self) {
         self.ring.clear();
         if let Some(t) = self.trace.as_mut() {
@@ -143,6 +149,8 @@ impl Acoustic {
     }
 
     fn step_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         // SAFETY: the schedule guarantees level k+2 writes are disjoint per
         // region and levels k, k+1 hold fully computed values (legality is
         // machine-checked in tempest-tiling and cross-validated bitwise).
@@ -167,10 +175,13 @@ impl Acoustic {
                 self.fused_sparse(k, x, y, region, un, c3r, mode);
             }
         }
+        sw.stop();
     }
 
     /// Fallback for space orders without a monomorphised kernel.
     fn step_dyn(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         let u0 = unsafe { self.ring.level(k + 1) };
         let um = unsafe { self.ring.level(k) };
         let (sx, sy) = (self.ring.sx(), self.ring.sy());
@@ -190,6 +201,7 @@ impl Acoustic {
                 self.fused_sparse(k, x, y, region, un, c3r, mode);
             }
         }
+        sw.stop();
     }
 
     /// Fused source injection (Listings 4–5) and receiver gather for one
@@ -206,6 +218,12 @@ impl Acoustic {
         c3r: &[f32],
         mode: SparseMode,
     ) {
+        if mode == SparseMode::Classic {
+            return;
+        }
+        let sw = obs::start(obs::Phase::Sparse);
+        let mut injections = 0u64;
+        let mut gathers = 0u64;
         match mode {
             SparseMode::Classic => return,
             SparseMode::Fused => {
@@ -216,6 +234,7 @@ impl Acoustic {
                 for z in region.z0..region.z1 {
                     if sm[z] != 0 {
                         un[z] += c3r[z] * dcmp[sid[z] as usize];
+                        injections += 1;
                     }
                 }
             }
@@ -225,6 +244,7 @@ impl Acoustic {
                 for (z, id) in self.src.comp.entries(x, y) {
                     if z >= region.z0 && z < region.z1 {
                         un[z] += c3r[z] * dcmp[id];
+                        injections += 1;
                     }
                 }
             }
@@ -238,7 +258,9 @@ impl Acoustic {
                     for z in region.z0..region.z1 {
                         if rm[z] != 0 {
                             let v = un[z];
-                            for &(r, w) in rec.pre.contributions(rid[z] as usize) {
+                            let contribs = rec.pre.contributions(rid[z] as usize);
+                            gathers += contribs.len() as u64;
+                            for &(r, w) in contribs {
                                 trace.add(k, r as usize, w * v);
                             }
                         }
@@ -248,7 +270,9 @@ impl Acoustic {
                     for (z, id) in rec.comp.entries(x, y) {
                         if z >= region.z0 && z < region.z1 {
                             let v = un[z];
-                            for &(r, w) in rec.pre.contributions(id) {
+                            let contribs = rec.pre.contributions(id);
+                            gathers += contribs.len() as u64;
+                            for &(r, w) in contribs {
                                 trace.add(k, r as usize, w * v);
                             }
                         }
@@ -257,6 +281,9 @@ impl Acoustic {
                 SparseMode::Classic => unreachable!(),
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 
     /// Run the simulation while recording interior wavefield snapshots
@@ -297,6 +324,53 @@ impl Acoustic {
         snaps
     }
 
+    /// Advance timesteps `[k0, k1)` under the spatially blocked schedule.
+    /// `k0 == 0` resets state first; `k0 > 0` continues from wherever a
+    /// previous `run_range` left the ring, so a full run decomposes exactly:
+    /// `run_range(0, s)` + `run_range(s, nt)` is bit-for-bit `run_range(0, nt)`.
+    ///
+    /// Together with [`checkpoint`](Self::checkpoint) /
+    /// [`restore_checkpoint`](Self::restore_checkpoint) this is the
+    /// checkpointed-restart primitive of RTM-style adjoint loops: snapshot
+    /// the ring at step `s`, and later re-materialise `[s, nt)` instead of
+    /// storing every intermediate wavefield.
+    pub fn run_range(&mut self, exec: &Execution, k0: usize, k1: usize) {
+        assert!(k0 <= k1 && k1 <= self.cfg.nt, "step range out of bounds");
+        assert!(
+            matches!(exec.schedule, Schedule::SpaceBlocked { .. }),
+            "checkpointed stepping requires the spatially blocked schedule"
+        );
+        exec.validate();
+        if k0 == 0 {
+            self.reset();
+        }
+        let spec = exec.spaceblock_spec();
+        let blocks = spec.blocks(self.shape());
+        let classic = exec.sparse == SparseMode::Classic;
+        for k in k0..k1 {
+            let this: &Acoustic = self;
+            tempest_par::for_each(exec.policy, &blocks, |b| {
+                this.step_region(k, b, exec.sparse)
+            });
+            if classic {
+                this.classic_after_step(k);
+            }
+        }
+    }
+
+    /// Bitwise checkpoint of the wavefield ring, taken while quiescent
+    /// (between [`run_range`](Self::run_range) segments). Covers the ring
+    /// only: receiver traces keep accumulating, so a restore-and-replay of
+    /// recorded steps would add their trace contributions twice.
+    pub fn checkpoint(&mut self) -> RingCheckpoint {
+        self.ring.checkpoint()
+    }
+
+    /// Restore a [`checkpoint`](Self::checkpoint) taken on this propagator.
+    pub fn restore_checkpoint(&mut self, cp: &RingCheckpoint) {
+        self.ring.restore(cp);
+    }
+
     /// Interior copy of a time level while quiescent (between sweeps).
     fn snapshot_level(&self, t: usize) -> Array3<f32> {
         // SAFETY: called between sweeps on the coordinating thread; no
@@ -317,6 +391,9 @@ impl Acoustic {
     /// Classic per-timestep sparse operators (Listing 1), run between dense
     /// sweeps of the space-blocked schedule.
     fn classic_after_step(&self, k: usize) {
+        let sw = obs::start(obs::Phase::Sparse);
+        let mut injections = 0u64;
+        let mut gathers = 0u64;
         // Source injection into the freshly computed level k+2.
         for (st, &a) in self.src.stencils.iter().zip(self.src.amps_at(k)) {
             for (c, w) in st.nonzero() {
@@ -325,6 +402,7 @@ impl Acoustic {
                 // Group (w·a) first: bitwise-identical to the fused path,
                 // which multiplies c3 by the precomputed w·a product.
                 un[c[2]] += self.c3.get(c[0], c[1], c[2]) * (w * a);
+                injections += 1;
             }
         }
         // Receiver interpolation from level k+2.
@@ -334,10 +412,14 @@ impl Acoustic {
                 let mut acc = 0.0f32;
                 for (c, w) in st.nonzero() {
                     acc += w * u[self.ring.idx(c[0], c[1], c[2])];
+                    gathers += 1;
                 }
                 trace.add(k, r, acc);
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 }
 

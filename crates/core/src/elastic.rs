@@ -27,6 +27,7 @@ use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
 use crate::shared::LevelRing;
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
+use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, ElasticModel, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{staggered_diff_bwd_r, staggered_diff_fwd_r, staggered_weights};
@@ -135,6 +136,16 @@ impl Elastic {
         &self.cfg
     }
 
+    /// The source bundle (inspection / exact-count oracles).
+    pub fn sources(&self) -> &SourceBundle {
+        &self.src
+    }
+
+    /// The receiver bundle, when receivers were attached.
+    pub fn receivers(&self) -> Option<&ReceiverBundle> {
+        self.rec.as_ref()
+    }
+
     fn reset(&mut self) {
         for r in [
             &mut self.vx,
@@ -174,6 +185,11 @@ impl Elastic {
 
     /// Velocity update: `v[t+1] = (v[t] + dt/ρ · ∇·τ[t]) · (1−η)`.
     fn vel_phase<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        // Each phase (velocity, stress) is its own virtual step and counts
+        // one update per grid point.
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        let mut gathers = 0u64;
         // SAFETY: schedule contract (see Acoustic::step_r); velocity levels
         // t+1 are written per disjoint region, all reads are level-t fields.
         let txx = unsafe { self.txx.level(t) };
@@ -218,23 +234,32 @@ impl Elastic {
                 // Fused receiver gather of vz (the mirror of Listing 4).
                 if mode != SparseMode::Classic {
                     if let (Some(rec), Some(trace)) = (self.rec.as_ref(), self.trace.as_ref()) {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
                         for (z, id) in rec.comp.entries(x, y) {
                             if z >= region.z0 && z < region.z1 {
                                 let v = vzn[z];
-                                for &(r, w) in rec.pre.contributions(id) {
+                                let contribs = rec.pre.contributions(id);
+                                gathers += contribs.len() as u64;
+                                for &(r, w) in contribs {
                                     trace.add(t, r as usize, w * v);
                                 }
                             }
                         }
+                        sparse_sw.stop();
                     }
                 }
             }
         }
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 
     /// Stress update: `τ[t+1] = (τ[t] + dt·(λ tr(ε̇) I + 2μ ε̇)) · (1−η)`,
     /// strain rates from the *fresh* `v[t+1]` (the previous virtual step).
     fn stress_phase<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        let mut injections = 0u64;
         let vx1 = unsafe { self.vx.level(t + 1) };
         let vy1 = unsafe { self.vy.level(t + 1) };
         let vz1 = unsafe { self.vz.level(t + 1) };
@@ -286,6 +311,7 @@ impl Elastic {
                 match mode {
                     SparseMode::Classic => {}
                     SparseMode::Fused => {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
                         let dcmp = self.src.pre.dcmp_row(t);
                         let sm = self.src.pre.sm_pencil(x, y);
                         let sid = self.src.pre.sid_pencil(x, y);
@@ -295,10 +321,15 @@ impl Elastic {
                                 txxn[z] += v;
                                 tyyn[z] += v;
                                 tzzn[z] += v;
+                                // One injection per masked point, not per
+                                // stress component.
+                                injections += 1;
                             }
                         }
+                        sparse_sw.stop();
                     }
                     SparseMode::FusedCompressed => {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
                         let dcmp = self.src.pre.dcmp_row(t);
                         for (z, id) in self.src.comp.entries(x, y) {
                             if z >= region.z0 && z < region.z1 {
@@ -306,16 +337,23 @@ impl Elastic {
                                 txxn[z] += v;
                                 tyyn[z] += v;
                                 tzzn[z] += v;
+                                injections += 1;
                             }
                         }
+                        sparse_sw.stop();
                     }
                 }
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        sw.stop();
     }
 
     /// Classic per-timestep sparse operators (space-blocked baseline only).
     fn classic_after_step(&self, t: usize) {
+        let sw = obs::start(obs::Phase::Sparse);
+        let mut injections = 0u64;
+        let mut gathers = 0u64;
         for (st, &a) in self.src.stencils.iter().zip(self.src.amps_at(t)) {
             for (c, w) in st.nonzero() {
                 let v = self.cfg.dt * (w * a);
@@ -325,6 +363,7 @@ impl Elastic {
                     self.tyy.pencil_mut(t + 1, c[0], c[1])[c[2]] += v;
                     self.tzz.pencil_mut(t + 1, c[0], c[1])[c[2]] += v;
                 }
+                injections += 1;
             }
         }
         if let (Some(rec), Some(trace)) = (self.rec.as_ref(), self.trace.as_ref()) {
@@ -333,10 +372,14 @@ impl Elastic {
                 let mut acc = 0.0f32;
                 for (c, w) in st.nonzero() {
                     acc += w * vz[self.vz.idx(c[0], c[1], c[2])];
+                    gathers += 1;
                 }
                 trace.add(t, r, acc);
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 }
 

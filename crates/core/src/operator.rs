@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use tempest_grid::{Array2, Array3, Shape};
+use tempest_obs as obs;
 use tempest_par::Policy;
 use tempest_tiling::{SpaceBlockSpec, WavefrontSpec};
 
@@ -172,6 +173,29 @@ impl Execution {
         }
     }
 
+    /// Short human label of the schedule, used in profile reports.
+    pub fn schedule_label(&self) -> String {
+        match self.schedule {
+            Schedule::SpaceBlocked { block_x, block_y } => {
+                format!("spaceblocked {block_x}x{block_y}")
+            }
+            Schedule::Wavefront {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            } => format!("wavefront {tile_x}x{tile_y} t{tile_t} / {block_x}x{block_y}"),
+            Schedule::WavefrontDiagonal {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            } => format!("wavefront-diag {tile_x}x{tile_y} t{tile_t} / {block_x}x{block_y}"),
+        }
+    }
+
     /// Check schedule/sparse compatibility; panics on the Fig. 4b hazard.
     pub fn validate(&self) {
         if matches!(
@@ -237,6 +261,25 @@ pub trait WaveSolver {
 
     /// Run the full simulation (resets state first) and return throughput.
     fn run(&mut self, exec: &Execution) -> RunStats;
+
+    /// Run with telemetry: resets the observability counters, runs, and
+    /// returns the aggregated [`obs::Profile`] alongside the stats plus a
+    /// [`obs::RunMeta`] ready for rendering/serialisation. With the `obs`
+    /// feature off (or `TEMPEST_PROFILE` unset) the profile is empty and the
+    /// run costs the same as [`run`](Self::run).
+    fn run_profiled(&mut self, exec: &Execution) -> (RunStats, obs::Profile, obs::RunMeta) {
+        obs::reset();
+        let stats = self.run(exec);
+        let profile = obs::snapshot();
+        let meta = obs::RunMeta::new(
+            &format!("{}-so{}", self.name(), self.space_order()),
+            &exec.schedule_label(),
+            stats.nt,
+            stats.grid_points as u64,
+            stats.elapsed.as_secs_f64(),
+        );
+        (stats, profile, meta)
+    }
 
     /// Snapshot of the representative final wavefield (pressure for
     /// acoustic/TTI, vz for elastic) — the object equivalence tests compare.

@@ -147,6 +147,49 @@ impl LevelRing {
     pub fn interior_max_abs(&mut self, t: usize) -> f32 {
         self.interior_copy(t).max_abs()
     }
+
+    /// Snapshot every ring level (padded, bitwise) while quiescent.
+    ///
+    /// Together with the logical step at which it was taken, the checkpoint
+    /// is everything the leap-frog recursion needs: [`restore`](Self::restore)
+    /// followed by re-running the remaining steps reproduces an uninterrupted
+    /// run bit-for-bit (the restart path of checkpointed RTM, where forward
+    /// state is re-materialised instead of stored per step).
+    pub fn checkpoint(&mut self) -> RingCheckpoint {
+        RingCheckpoint {
+            levels: self.levels.iter_mut().map(|l| l.get_mut().clone()).collect(),
+        }
+    }
+
+    /// Restore a [`checkpoint`](Self::checkpoint) taken on a ring of the
+    /// same geometry. Panics on level-count or volume-size mismatch.
+    pub fn restore(&mut self, cp: &RingCheckpoint) {
+        assert_eq!(
+            cp.levels.len(),
+            self.levels.len(),
+            "checkpoint level count mismatch"
+        );
+        for (dst, src) in self.levels.iter_mut().zip(&cp.levels) {
+            let dst = dst.get_mut();
+            assert_eq!(dst.len(), src.len(), "checkpoint volume size mismatch");
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+/// A bitwise snapshot of every level of a [`LevelRing`], taken between
+/// sweeps. Opaque: only meaningful to [`LevelRing::restore`] on a ring of
+/// identical geometry.
+#[derive(Clone)]
+pub struct RingCheckpoint {
+    levels: Vec<Box<[f32]>>,
+}
+
+impl RingCheckpoint {
+    /// Total f32 payload (all levels), for storage accounting.
+    pub fn num_values(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +279,39 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_single_level() {
         let _ = LevelRing::new(Shape::cube(2), 0, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut r = LevelRing::new(Shape::cube(4), 2, 3);
+        for t in 0..3 {
+            unsafe {
+                r.pencil_mut(t, 1, 2)[3] = (t + 1) as f32 * 0.5;
+            }
+        }
+        let cp = r.checkpoint();
+        assert_eq!(cp.num_values(), 3 * 8 * 8 * 8);
+        // Scribble over every level, then restore.
+        for t in 0..3 {
+            unsafe {
+                r.pencil_mut(t, 1, 2)[3] = -9.0;
+                r.pencil_mut(t, 0, 0)[0] = 7.0;
+            }
+        }
+        r.restore(&cp);
+        for t in 0..3 {
+            let c = r.interior_copy(t);
+            assert_eq!(c.get(1, 2, 3), (t + 1) as f32 * 0.5);
+            assert_eq!(c.get(0, 0, 0), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level count mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let mut a = LevelRing::new(Shape::cube(4), 1, 2);
+        let mut b = LevelRing::new(Shape::cube(4), 1, 3);
+        let cp = b.checkpoint();
+        a.restore(&cp);
     }
 }

@@ -26,6 +26,7 @@ use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
 use crate::shared::LevelRing;
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
+use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, Range3, Shape, TtiModel};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{
@@ -147,6 +148,16 @@ impl Tti {
         &self.cfg
     }
 
+    /// The source bundle (inspection / exact-count oracles).
+    pub fn sources(&self) -> &SourceBundle {
+        &self.src
+    }
+
+    /// The receiver bundle, when receivers were attached.
+    pub fn receivers(&self) -> Option<&ReceiverBundle> {
+        self.rec.as_ref()
+    }
+
     fn reset(&mut self) {
         self.p.clear();
         self.q.clear();
@@ -169,6 +180,9 @@ impl Tti {
 
     #[allow(clippy::too_many_arguments)]
     fn step_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        // One update per grid point: the coupled p/q pair counts once.
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         // SAFETY: see `Acoustic::step_r` — identical schedule contract, two
         // fields updated together from their own older levels.
         let p0 = unsafe { self.p.level(k + 1) };
@@ -240,6 +254,7 @@ impl Tti {
                 self.fused_sparse(k, x, y, region, pn, qn, c3r, mode);
             }
         }
+        sw.stop();
     }
 
     /// Fused source injection (into both fields, as Devito's TTI operator
@@ -257,6 +272,12 @@ impl Tti {
         c3r: &[f32],
         mode: SparseMode,
     ) {
+        if mode == SparseMode::Classic {
+            return;
+        }
+        let sw = obs::start(obs::Phase::Sparse);
+        let mut injections = 0u64;
+        let mut gathers = 0u64;
         match mode {
             SparseMode::Classic => return,
             SparseMode::Fused => {
@@ -268,6 +289,8 @@ impl Tti {
                         let v = c3r[z] * dcmp[sid[z] as usize];
                         pn[z] += v;
                         qn[z] += v;
+                        // The coupled p/q pair receives one injection.
+                        injections += 1;
                     }
                 }
             }
@@ -278,6 +301,7 @@ impl Tti {
                         let v = c3r[z] * dcmp[id];
                         pn[z] += v;
                         qn[z] += v;
+                        injections += 1;
                     }
                 }
             }
@@ -286,16 +310,24 @@ impl Tti {
             for (z, id) in rec.comp.entries(x, y) {
                 if z >= region.z0 && z < region.z1 {
                     let v = pn[z];
-                    for &(r, w) in rec.pre.contributions(id) {
+                    let contribs = rec.pre.contributions(id);
+                    gathers += contribs.len() as u64;
+                    for &(r, w) in contribs {
                         trace.add(k, r as usize, w * v);
                     }
                 }
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 
     /// Classic per-timestep sparse operators (space-blocked baseline only).
     fn classic_after_step(&self, k: usize) {
+        let sw = obs::start(obs::Phase::Sparse);
+        let mut injections = 0u64;
+        let mut gathers = 0u64;
         for (st, &a) in self.src.stencils.iter().zip(self.src.amps_at(k)) {
             for (c, w) in st.nonzero() {
                 let v = self.c3.get(c[0], c[1], c[2]) * (w * a);
@@ -304,6 +336,7 @@ impl Tti {
                     self.p.pencil_mut(k + 2, c[0], c[1])[c[2]] += v;
                     self.q.pencil_mut(k + 2, c[0], c[1])[c[2]] += v;
                 }
+                injections += 1;
             }
         }
         if let (Some(rec), Some(trace)) = (self.rec.as_ref(), self.trace.as_ref()) {
@@ -312,10 +345,14 @@ impl Tti {
                 let mut acc = 0.0f32;
                 for (c, w) in st.nonzero() {
                     acc += w * p[self.p.idx(c[0], c[1], c[2])];
+                    gathers += 1;
                 }
                 trace.add(k, r, acc);
             }
         }
+        obs::add(obs::Counter::SourceInjections, injections);
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
     }
 }
 

@@ -29,6 +29,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use tempest_obs as obs;
+
 /// Execution policy for a batch of independent work items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -122,6 +124,7 @@ impl Job {
             // SAFETY: i < n ⇒ the batch is not yet complete ⇒ the caller is
             // still parked in `run_batch`, keeping `func` alive.
             unsafe { (*self.func)(i) };
+            obs::add(obs::Counter::ParTasks, 1);
             if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
                 let mut fin = self.finished.lock().unwrap();
                 *fin = true;
@@ -199,6 +202,7 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
         for i in 0..n {
             f(i);
         }
+        obs::add(obs::Counter::ParTasks, n as u64);
         return;
     }
     let job = Arc::new(Job {
@@ -222,8 +226,10 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
         slot.1 = Some((Arc::clone(&job), cap));
         p.board.cv.notify_all();
     }
+    obs::add(obs::Counter::ParPublications, 1);
     // The caller works too — and afterwards waits for stragglers.
     job.help();
+    let wait = obs::start(obs::Phase::BarrierWait);
     let mut fin = job.finished.lock().unwrap();
     while !*fin {
         // The final `help` return races the last worker's notify; the
@@ -237,6 +243,8 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
             break;
         }
     }
+    drop(fin);
+    wait.stop();
 }
 
 /// Resolve a policy to Sequential / a thread cap for `n` items.
@@ -268,7 +276,10 @@ where
     F: Fn(&T) + Sync + Send,
 {
     match effective(policy, items.len()) {
-        Policy::Sequential => items.iter().for_each(&f),
+        Policy::Sequential => {
+            items.iter().for_each(&f);
+            obs::add(obs::Counter::ParTasks, items.len() as u64);
+        }
         p => run_batch(items.len(), cap_of(p), &|i| f(&items[i])),
     }
 }
@@ -279,7 +290,10 @@ where
     F: Fn(usize) + Sync + Send,
 {
     match effective(policy, n) {
-        Policy::Sequential => (0..n).for_each(f),
+        Policy::Sequential => {
+            (0..n).for_each(f);
+            obs::add(obs::Counter::ParTasks, n as u64);
+        }
         p => run_batch(n, cap_of(p), &f),
     }
 }
@@ -296,10 +310,12 @@ where
     let len = data.len();
     let n = len.div_ceil(chunk);
     match effective(policy, n) {
-        Policy::Sequential => data
-            .chunks_mut(chunk)
-            .enumerate()
-            .for_each(|(i, c)| f(i, c)),
+        Policy::Sequential => {
+            data.chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(i, c)| f(i, c));
+            obs::add(obs::Counter::ParTasks, n as u64);
+        }
         p => {
             let base = data.as_mut_ptr() as usize;
             run_batch(n, cap_of(p), &|i| {
@@ -324,7 +340,11 @@ where
     F: Fn(&T) -> U + Sync + Send,
 {
     match effective(policy, items.len()) {
-        Policy::Sequential => items.iter().map(f).collect(),
+        Policy::Sequential => {
+            let out: Vec<U> = items.iter().map(f).collect();
+            obs::add(obs::Counter::ParTasks, out.len() as u64);
+            out
+        }
         p => {
             let n = items.len();
             let mut out: Vec<std::mem::MaybeUninit<U>> = Vec::with_capacity(n);

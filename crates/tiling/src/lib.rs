@@ -42,6 +42,9 @@ pub mod legality;
 pub mod spaceblock;
 pub mod wavefront;
 
-pub use autotune::{autotune, with_diagonal_variants, Candidate, TuneResult};
+pub use autotune::{
+    autotune, autotune_measured, with_diagonal_variants, Candidate, MeasuredResult, Measurement,
+    TuneResult,
+};
 pub use spaceblock::SpaceBlockSpec;
 pub use wavefront::{Slab, Tile, WavefrontSpec};

@@ -9,6 +9,7 @@
 //! points have been updated".
 
 use tempest_grid::{Range3, Shape};
+use tempest_obs as obs;
 use tempest_par::Policy;
 
 /// Block shape of the spatially blocked schedule.
@@ -50,8 +51,11 @@ pub fn execute<S, A>(
 {
     let blocks = spec.blocks(shape);
     for vt in 0..nvt {
+        let sw = obs::start(obs::Phase::Sweep);
         tempest_par::for_each(policy, &blocks, |b| step(vt, b));
         after_step(vt);
+        obs::add(obs::Counter::SpaceSweeps, 1);
+        sw.stop();
     }
 }
 

@@ -36,6 +36,7 @@
 //! same z-order, with the same fused sparse work at the same `vt`).
 
 use tempest_grid::{Range3, Shape};
+use tempest_obs as obs;
 use tempest_par::Policy;
 
 /// Parameters of the wave-front temporally blocked schedule.
@@ -200,8 +201,11 @@ where
     S: Fn(usize, &Range3) + Sync + Send,
 {
     for_each_slab(shape, nvt, spec, |slab| {
+        let sw = obs::start(obs::Phase::Slab);
         let blocks = slab.range.split_xy(spec.block_x, spec.block_y);
         tempest_par::for_each(policy, &blocks, |b| step(slab.vt, b));
+        obs::add(obs::Counter::WavefrontSlabs, 1);
+        sw.stop();
     });
 }
 
@@ -252,6 +256,7 @@ where
     while t0 < nvt {
         let t1 = (t0 + spec.tile_t).min(nvt);
         for tiles in diagonals(shape, spec, t0, t1) {
+            let sw = obs::start(obs::Phase::Diagonal);
             // `for_each` blocks until every tile completes: the barrier
             // between diagonals.
             tempest_par::for_each(policy, &tiles, |tile| {
@@ -263,6 +268,9 @@ where
                     }
                 }
             });
+            obs::add(obs::Counter::WavefrontDiagonals, 1);
+            obs::add(obs::Counter::WavefrontTiles, tiles.len() as u64);
+            sw.stop();
         }
         t0 = t1;
     }

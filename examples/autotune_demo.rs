@@ -6,6 +6,14 @@
 //! ```text
 //! cargo run --release --example autotune_demo
 //! ```
+//!
+//! With profiling compiled in and switched on, the sweep also records each
+//! candidate's barrier-wait share and uses it to break near-ties between
+//! slab-ordered and diagonal-parallel shapes:
+//!
+//! ```text
+//! TEMPEST_PROFILE=1 cargo run --release --example autotune_demo --features obs
+//! ```
 
 use tempest::core::operator::{Schedule, SparseMode};
 use tempest::core::config::EquationKind;
@@ -13,7 +21,9 @@ use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
 use tempest::grid::{Domain, Model, Shape};
 use tempest::par::Policy;
 use tempest::sparse::SparsePoints;
-use tempest::tiling::{autotune, autotune::default_candidates, with_diagonal_variants, Candidate};
+use tempest::tiling::{
+    autotune_measured, autotune::default_candidates, with_diagonal_variants, Candidate, Measurement,
+};
 
 /// Schedule for a candidate: slab-ordered or diagonal-parallel wave-front,
 /// per its `diagonal` flag.
@@ -54,31 +64,54 @@ fn main() {
         cands.len()
     );
 
-    let result = autotune(&cands, |c| {
-        let exec = Execution {
-            schedule: schedule_of(c),
-            sparse: SparseMode::FusedCompressed,
-            policy: Policy::default(),
-        };
-        solver.run(&exec).elapsed
-    });
+    // Candidates within 5% of the fastest are ranked by measured
+    // barrier-wait share (when telemetry is recorded) — wall time alone
+    // cannot separate slab-ordered from diagonal-parallel shapes on short
+    // tuning runs.
+    let result = autotune_measured(
+        &cands,
+        |c| {
+            let exec = Execution {
+                schedule: schedule_of(c),
+                sparse: SparseMode::FusedCompressed,
+                policy: Policy::default(),
+            };
+            let (stats, profile, _) = solver.run_profiled(&exec);
+            Measurement {
+                time: stats.elapsed,
+                barrier_share: if profile.is_empty() {
+                    None
+                } else {
+                    Some(profile.barrier_wait_share())
+                },
+            }
+        },
+        0.05,
+    );
+
+    let share_col = |m: &Measurement| {
+        m.barrier_share
+            .map(|s| format!("{:>5.1}%", s * 100.0))
+            .unwrap_or_else(|| "    —".into())
+    };
 
     // Ranking table.
     let mut ranked = result.all.clone();
-    ranked.sort_by_key(|(_, t)| *t);
-    println!("rank  candidate                       time");
-    for (i, (c, t)) in ranked.iter().take(8).enumerate() {
-        println!("{:>4}  {c:<30}  {:>8.3?}", i + 1, t);
+    ranked.sort_by_key(|(_, m)| m.time);
+    println!("rank  candidate                       time      barrier-wait");
+    for (i, (c, m)) in ranked.iter().take(8).enumerate() {
+        println!("{:>4}  {c:<30}  {:>8.3?}  {}", i + 1, m.time, share_col(m));
     }
     println!("   …");
-    let (wc, wt) = ranked.last().unwrap();
-    println!("last  {wc:<30}  {wt:>8.3?}");
+    let (wc, wm) = ranked.last().unwrap();
+    println!("last  {wc:<30}  {:>8.3?}  {}", wm.time, share_col(wm));
 
     println!(
-        "\nbest: {}  ({:.3?}); worst is {:.2}x slower",
+        "\nbest: {}  ({:.3?}, barrier-wait {}); worst is {:.2}x slower",
         result.best,
-        result.best_time,
-        wt.as_secs_f64() / result.best_time.as_secs_f64()
+        result.best_measurement.time,
+        share_col(&result.best_measurement),
+        wm.time.as_secs_f64() / result.best_measurement.time.as_secs_f64()
     );
 
     // Compare the tuned schedule against the baseline.

@@ -8,6 +8,13 @@
 //! ```text
 //! cargo run --release --example seismic_survey
 //! ```
+//!
+//! With profiling compiled in and switched on, each schedule also prints a
+//! per-phase profile and writes it to `target/profile/*.json`:
+//!
+//! ```text
+//! TEMPEST_PROFILE=1 cargo run --release --example seismic_survey --features obs
+//! ```
 
 use tempest::core::config::EquationKind;
 use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
@@ -37,15 +44,26 @@ fn main() {
     println!("shot at {shot:?}, {} receivers, nt = {nt}", rec_coords.len());
     let mut solver = Acoustic::new(&model, cfg, src, Some(rec));
 
-    let base = solver.run(&Execution::baseline());
+    let (base, base_profile, base_meta) = solver.run_profiled(&Execution::baseline());
     let gather = solver.trace().unwrap();
     println!("baseline : {:>7.3} GPts/s", base.gpoints_per_s);
-    let wtb = solver.run(&Execution::wavefront_default());
+    let (wtb, wtb_profile, wtb_meta) = solver.run_profiled(&Execution::wavefront_default());
     println!(
         "wavefront: {:>7.3} GPts/s  speedup {:.2}x",
         wtb.gpoints_per_s,
         wtb.gpoints_per_s / base.gpoints_per_s
     );
+
+    for (profile, meta) in [(base_profile, base_meta), (wtb_profile, wtb_meta)] {
+        if profile.is_empty() {
+            continue; // profiling off (or built without --features obs)
+        }
+        println!("\n{}", profile.render(&meta));
+        match profile.write_json(&meta) {
+            Ok(path) => println!("profile written to {}", path.display()),
+            Err(err) => eprintln!("could not write profile JSON: {err}"),
+        }
+    }
 
     // First-break picking: earliest sample exceeding 2% of the trace peak.
     let peak = gather

@@ -23,6 +23,7 @@
 pub use tempest_core as core;
 pub use tempest_dsl as dsl;
 pub use tempest_grid as grid;
+pub use tempest_obs as obs;
 pub use tempest_par as par;
 pub use tempest_sparse as sparse;
 pub use tempest_stencil as stencil;
