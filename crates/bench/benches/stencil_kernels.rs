@@ -1,16 +1,22 @@
-//! Micro-benchmarks of the dense FD kernels: the per-pencil
-//! Laplacian / first-derivative / staggered / cross-derivative building
-//! blocks at the paper's space orders 4, 8, 12. These quantify the
-//! operation-count growth with space order that shrinks temporal-blocking
-//! gains (paper §I.B: "temporal blocking gains decrease when space-order
-//! increases").
+//! Micro-benchmarks of the dense FD kernels at the paper's space orders
+//! 4, 8 and 12, sweeping the **full interior** of an `N³` volume (every
+//! pencil, not just one centre row — a single row overstates cache locality
+//! and understates the y/x-stride traffic that dominates real sweeps).
+//!
+//! Each kernel is measured twice over identical iteration spaces: the
+//! per-point scalar reference (`kernels::*`) and the whole-row pencil path
+//! (`simd::*_pencil*`). The two produce bitwise-identical results (see
+//! `tempest_stencil::simd` and `tests/kernel_equivalence.rs`), so the ratio
+//! is a pure code-generation ablation: hoisted bounds checks, fixed-width
+//! lanes, and slice windows vs per-point indexing.
 
 use std::hint::black_box;
-use tempest_bench::microbench::{self, Config};
+use tempest_bench::microbench::{self, Config, Sample};
 use tempest_stencil::kernels::{
-    cross_diff, first_derivative_weights, laplacian_at, staggered_diff_fwd, staggered_weights,
-    AxisWeights,
+    cross_diff_r, first_derivative_weights, laplacian_at_r, staggered_diff_fwd_r,
+    staggered_weights, AxisWeights,
 };
+use tempest_stencil::simd::{cross_diff_pencil_r, laplacian_pencil_r, staggered_pencil_fwd_r};
 
 const N: usize = 64;
 
@@ -22,82 +28,133 @@ fn grid() -> (Vec<f32>, usize, usize) {
     (u, N * N, N)
 }
 
-fn bench_laplacian(cfg: Config) {
-    let (u, sx, sy) = grid();
-    for so in [4usize, 8, 12] {
-        let w = AxisWeights::second_derivative(so, 10.0);
-        let r = so / 2;
-        let (z0, z1) = (r, N - r);
-        microbench::run_elems(
-            &format!("laplacian_pencil/{so}"),
-            cfg,
-            (z1 - z0) as u64,
-            || {
-                let mut acc = 0.0f32;
-                let base = (N / 2 * N + N / 2) * N;
-                for z in z0..z1 {
-                    acc += laplacian_at(
-                        black_box(&u),
+/// Interior extent, elements covered, and a scratch row for pencil calls.
+fn interior<const R: usize>() -> (usize, usize, u64, Vec<f32>) {
+    let (lo, hi) = (R, N - R);
+    let n = hi - lo;
+    (lo, hi, (n * n * n) as u64, vec![0.0f32; n])
+}
+
+fn report_speedup(name: &str, so: usize, scalar: &Sample, pencil: &Sample) {
+    let sp = scalar.median.as_secs_f64() / pencil.median.as_secs_f64().max(1e-12);
+    println!("  {name}/so{so}: pencil speedup {sp:.2}x over scalar");
+}
+
+fn bench_laplacian<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
+    let w = AxisWeights::second_derivative(so, 10.0);
+    let side: [f32; R] = w.side_array();
+    let center = 3.0 * w.center;
+    let (lo, hi, elems, mut out) = interior::<R>();
+    let scalar = microbench::run_elems(&format!("laplacian_scalar/so{so}"), cfg, elems, || {
+        let mut acc = 0.0f32;
+        for x in lo..hi {
+            for y in lo..hi {
+                let base = (x * N + y) * N;
+                for z in lo..hi {
+                    acc += laplacian_at_r::<R>(
+                        black_box(u),
                         base + z,
                         sx,
                         sy,
-                        3.0 * w.center,
-                        &w.side,
-                        &w.side,
-                        &w.side,
+                        center,
+                        &side,
+                        &side,
+                        &side,
                     );
                 }
-                black_box(acc);
-            },
-        );
-    }
+            }
+        }
+        black_box(acc);
+    });
+    let pencil = microbench::run_elems(&format!("laplacian_pencil/so{so}"), cfg, elems, || {
+        for x in lo..hi {
+            for y in lo..hi {
+                let i0 = (x * N + y) * N + lo;
+                laplacian_pencil_r::<R>(
+                    black_box(u),
+                    i0,
+                    sx,
+                    sy,
+                    center,
+                    &side,
+                    &side,
+                    &side,
+                    &mut out,
+                );
+                black_box(&out);
+            }
+        }
+    });
+    report_speedup("laplacian", so, &scalar, &pencil);
 }
 
-fn bench_first_diff_cross(cfg: Config) {
-    let (u, sx, sy) = grid();
-    for so in [4usize, 8, 12] {
-        let w = first_derivative_weights(so, 10.0);
-        let r = so / 2;
-        microbench::run_elems(
-            &format!("cross_diff_pencil/{so}"),
-            cfg,
-            (N - 2 * r) as u64,
-            || {
-                let mut acc = 0.0f32;
-                let base = (N / 2 * N + N / 2) * N;
-                for z in r..N - r {
-                    acc += cross_diff(black_box(&u), base + z, sx, sy, &w, &w);
+fn bench_cross<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
+    let w = first_derivative_weights(so, 10.0);
+    let w: [f32; R] = w[..].try_into().expect("radius mismatch");
+    let (lo, hi, elems, mut out) = interior::<R>();
+    let scalar = microbench::run_elems(&format!("cross_diff_scalar/so{so}"), cfg, elems, || {
+        let mut acc = 0.0f32;
+        for x in lo..hi {
+            for y in lo..hi {
+                let base = (x * N + y) * N;
+                for z in lo..hi {
+                    acc += cross_diff_r::<R>(black_box(u), base + z, sx, sy, &w, &w);
                 }
-                black_box(acc);
-            },
-        );
-    }
+            }
+        }
+        black_box(acc);
+    });
+    let pencil = microbench::run_elems(&format!("cross_diff_pencil/so{so}"), cfg, elems, || {
+        for x in lo..hi {
+            for y in lo..hi {
+                let i0 = (x * N + y) * N + lo;
+                cross_diff_pencil_r::<R>(black_box(u), i0, sx, sy, &w, &w, &mut out);
+                black_box(&out);
+            }
+        }
+    });
+    report_speedup("cross_diff", so, &scalar, &pencil);
 }
 
-fn bench_staggered(cfg: Config) {
-    let (u, _sx, _sy) = grid();
-    for so in [4usize, 8, 12] {
-        let w = staggered_weights(so, 10.0);
-        let r = so / 2;
-        microbench::run_elems(
-            &format!("staggered_diff_pencil/{so}"),
-            cfg,
-            (N - 2 * r) as u64,
-            || {
-                let mut acc = 0.0f32;
-                let base = (N / 2 * N + N / 2) * N;
-                for z in r..N - r {
-                    acc += staggered_diff_fwd(black_box(&u), base + z, 1, &w);
+fn bench_staggered<const R: usize>(cfg: Config, so: usize, u: &[f32]) {
+    let w = staggered_weights(so, 10.0);
+    let w: [f32; R] = w[..].try_into().expect("radius mismatch");
+    let (lo, hi, elems, mut out) = interior::<R>();
+    let scalar = microbench::run_elems(&format!("staggered_scalar/so{so}"), cfg, elems, || {
+        let mut acc = 0.0f32;
+        for x in lo..hi {
+            for y in lo..hi {
+                let base = (x * N + y) * N;
+                for z in lo..hi {
+                    acc += staggered_diff_fwd_r::<R>(black_box(u), base + z, 1, &w);
                 }
-                black_box(acc);
-            },
-        );
-    }
+            }
+        }
+        black_box(acc);
+    });
+    let pencil = microbench::run_elems(&format!("staggered_pencil/so{so}"), cfg, elems, || {
+        for x in lo..hi {
+            for y in lo..hi {
+                let i0 = (x * N + y) * N + lo;
+                staggered_pencil_fwd_r::<R>(black_box(u), i0, 1, &w, &mut out);
+                black_box(&out);
+            }
+        }
+    });
+    report_speedup("staggered", so, &scalar, &pencil);
+}
+
+fn bench_order<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
+    bench_laplacian::<R>(cfg, so, u, sx, sy);
+    bench_cross::<R>(cfg, so, u, sx, sy);
+    bench_staggered::<R>(cfg, so, u);
 }
 
 fn main() {
     let cfg = Config::default();
-    bench_laplacian(cfg);
-    bench_first_diff_cross(cfg);
-    bench_staggered(cfg);
+    let (u, sx, sy) = grid();
+    println!("stencil_kernels: full-interior sweep of a {N}^3 volume, scalar vs pencil");
+    bench_order::<2>(cfg, 4, &u, sx, sy);
+    bench_order::<4>(cfg, 8, &u, sx, sy);
+    bench_order::<6>(cfg, 12, &u, sx, sy);
 }

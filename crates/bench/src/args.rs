@@ -1,6 +1,8 @@
 //! Minimal CLI argument handling shared by the harness binaries (keeps the
 //! workspace free of an argument-parsing dependency).
 
+use tempest_core::operator::KernelPath;
+
 /// Common harness options.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
@@ -17,6 +19,8 @@ pub struct HarnessArgs {
     /// Emit per-phase profiles (rendered table + JSON under
     /// `target/profile/`). Needs the `obs` feature to record anything.
     pub profile: bool,
+    /// Dense-kernel path: scalar reference loops or pencil (lane) kernels.
+    pub kernel: KernelPath,
 }
 
 impl HarnessArgs {
@@ -35,6 +39,7 @@ impl HarnessArgs {
             space_orders: vec![4, 8, 12],
             models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
             profile: false,
+            kernel: KernelPath::default(),
         };
         let mut i = 1;
         while i < argv.len() {
@@ -78,12 +83,21 @@ impl HarnessArgs {
                     a.profile = true;
                     tempest_obs::set_enabled(true);
                 }
+                "--kernel" => {
+                    i += 1;
+                    a.kernel = match argv.get(i).map(String::as_str) {
+                        Some("scalar") => KernelPath::Scalar,
+                        Some("pencil") => KernelPath::Pencil,
+                        other => panic!("--kernel needs 'scalar' or 'pencil', got {other:?}"),
+                    };
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --size N (grid edge) --nt N (timesteps) \
                          --so 4,8,12 (space orders) \
                          --model acoustic,tti,elastic --fast (smoke test) \
-                         --profile (per-phase profile table + JSON)"
+                         --profile (per-phase profile table + JSON) \
+                         --kernel scalar|pencil (dense-kernel path, default pencil)"
                     );
                     std::process::exit(0);
                 }
@@ -132,6 +146,25 @@ mod tests {
         let a = HarnessArgs::parse_from(&sv(&["--profile"]), 64, 8);
         assert!(a.profile);
         assert!(!HarnessArgs::parse_from(&sv(&[]), 64, 8).profile);
+    }
+
+    #[test]
+    fn kernel_flag() {
+        assert_eq!(
+            HarnessArgs::parse_from(&sv(&["--kernel", "scalar"]), 64, 8).kernel,
+            KernelPath::Scalar
+        );
+        assert_eq!(
+            HarnessArgs::parse_from(&sv(&["--kernel", "pencil"]), 64, 8).kernel,
+            KernelPath::Pencil
+        );
+        assert_eq!(HarnessArgs::parse_from(&sv(&[]), 64, 8).kernel, KernelPath::Pencil);
+    }
+
+    #[test]
+    #[should_panic(expected = "--kernel needs")]
+    fn kernel_flag_rejects_unknown() {
+        let _ = HarnessArgs::parse_from(&sv(&["--kernel", "avx"]), 64, 8);
     }
 
     #[test]

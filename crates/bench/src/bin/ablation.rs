@@ -28,6 +28,58 @@ fn main() {
     listing4_vs_listing5(&args);
     tile_height_sweep(&args);
     skewing_vs_tiling(&args);
+    scalar_vs_pencil(&args);
+}
+
+/// Ablation D — scalar reference loops vs the pencil (lane) kernel path,
+/// per model and schedule. Both paths are bitwise identical in output (see
+/// `tests/kernel_equivalence.rs`); this quantifies the performance gap the
+/// bounds-check-free, lane-structured inner loops buy.
+fn scalar_vs_pencil(args: &HarnessArgs) {
+    use tempest_core::operator::KernelPath;
+    let mut table = Table::new(
+        "Ablation D — scalar vs pencil kernel path",
+        &["model", "schedule", "scalar GPts/s", "pencil GPts/s", "pencil/scalar"],
+    );
+    let so = 8usize;
+    let wtb = Candidate {
+        tile_x: 16,
+        tile_y: 16,
+        tile_t: 8.min(args.nt),
+        block_x: 8,
+        block_y: 8,
+        diagonal: false,
+    };
+    let mut run = |model: &str, s: &mut dyn tempest_core::WaveSolver| {
+        for (sched, exec) in [
+            ("spaceblocked", sweep::exec_spaceblocked(8, 8)),
+            ("wavefront", sweep::exec_wavefront(&wtb)),
+        ] {
+            let sc = sweep::measure_dyn(s, &sweep::with_kernel(exec, KernelPath::Scalar), 1);
+            let pc = sweep::measure_dyn(s, &sweep::with_kernel(exec, KernelPath::Pencil), 1);
+            println!(
+                "  {model} so{so} {sched}: scalar {:.3}, pencil {:.3} GPts/s",
+                sc.gpoints_per_s, pc.gpoints_per_s
+            );
+            table.row(&[
+                model.to_string(),
+                sched.to_string(),
+                f3(sc.gpoints_per_s),
+                f3(pc.gpoints_per_s),
+                format!("{:.2}x", pc.gpoints_per_s / sc.gpoints_per_s),
+            ]);
+        }
+    };
+    if args.models.iter().any(|m| m == "acoustic") {
+        run("acoustic", &mut setup::acoustic(args.size, so, args.nt, 0));
+    }
+    if args.models.iter().any(|m| m == "tti") {
+        run("tti", &mut setup::tti(args.size, so, args.nt, 0));
+    }
+    if args.models.iter().any(|m| m == "elastic") {
+        run("elastic", &mut setup::elastic(args.size, so, args.nt, 0));
+    }
+    table.print();
 }
 
 /// Ablation C — pure time-skewing (one whole-grid tile, only the wave-front

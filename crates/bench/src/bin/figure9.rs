@@ -53,8 +53,10 @@ fn bench_one(model: &str, so: usize, args: &HarnessArgs, nt_tune: usize, table: 
             let base_blk = sweep::tune_baseline(&mut tuner);
             let tuned = sweep::tune_wavefront(&mut tuner, &cands);
             let mut s = setup::acoustic(args.size, so, args.nt, 8);
-            let base = sweep::measure(&mut s, &sweep::exec_spaceblocked(base_blk.0, base_blk.1), repeats);
-            let wtb = sweep::measure(&mut s, &sweep::exec_wavefront(&tuned.best), repeats);
+            let eb = sweep::with_kernel(sweep::exec_spaceblocked(base_blk.0, base_blk.1), args.kernel);
+            let base = sweep::measure(&mut s, &eb, repeats);
+            let ew = sweep::with_kernel(sweep::exec_wavefront(&tuned.best), args.kernel);
+            let wtb = sweep::measure(&mut s, &ew, repeats);
             (base, wtb, base_blk, tuned.best)
         }
         "tti" => {
@@ -62,8 +64,10 @@ fn bench_one(model: &str, so: usize, args: &HarnessArgs, nt_tune: usize, table: 
             let base_blk = sweep::tune_baseline(&mut tuner);
             let tuned = sweep::tune_wavefront(&mut tuner, &cands);
             let mut s = setup::tti(args.size, so, args.nt, 8);
-            let base = sweep::measure(&mut s, &sweep::exec_spaceblocked(base_blk.0, base_blk.1), repeats);
-            let wtb = sweep::measure(&mut s, &sweep::exec_wavefront(&tuned.best), repeats);
+            let eb = sweep::with_kernel(sweep::exec_spaceblocked(base_blk.0, base_blk.1), args.kernel);
+            let base = sweep::measure(&mut s, &eb, repeats);
+            let ew = sweep::with_kernel(sweep::exec_wavefront(&tuned.best), args.kernel);
+            let wtb = sweep::measure(&mut s, &ew, repeats);
             (base, wtb, base_blk, tuned.best)
         }
         _ => {
@@ -71,8 +75,10 @@ fn bench_one(model: &str, so: usize, args: &HarnessArgs, nt_tune: usize, table: 
             let base_blk = sweep::tune_baseline(&mut tuner);
             let tuned = sweep::tune_wavefront(&mut tuner, &cands);
             let mut s = setup::elastic(args.size, so, args.nt, 8);
-            let base = sweep::measure(&mut s, &sweep::exec_spaceblocked(base_blk.0, base_blk.1), repeats);
-            let wtb = sweep::measure(&mut s, &sweep::exec_wavefront(&tuned.best), repeats);
+            let eb = sweep::with_kernel(sweep::exec_spaceblocked(base_blk.0, base_blk.1), args.kernel);
+            let base = sweep::measure(&mut s, &eb, repeats);
+            let ew = sweep::with_kernel(sweep::exec_wavefront(&tuned.best), args.kernel);
+            let wtb = sweep::measure(&mut s, &ew, repeats);
             (base, wtb, base_blk, tuned.best)
         }
     };

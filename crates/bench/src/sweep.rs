@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use tempest_core::{Execution, RunStats, WaveSolver};
-use tempest_core::operator::{Schedule, SparseMode};
+use tempest_core::operator::{KernelPath, Schedule, SparseMode};
 use tempest_obs as obs;
 use tempest_par::Policy;
 use tempest_tiling::{autotune, autotune_measured, Candidate, MeasuredResult, Measurement, TuneResult};
@@ -36,6 +36,7 @@ pub fn exec_wavefront(c: &Candidate) -> Execution {
         schedule,
         sparse: SparseMode::FusedCompressed,
         policy: Policy::default(),
+        kernel: KernelPath::default(),
     }
 }
 
@@ -45,11 +46,23 @@ pub fn exec_spaceblocked(block_x: usize, block_y: usize) -> Execution {
         schedule: Schedule::SpaceBlocked { block_x, block_y },
         sparse: SparseMode::Classic,
         policy: Policy::default(),
+        kernel: KernelPath::default(),
     }
+}
+
+/// Apply a `--kernel` selection to an execution (harness plumbing).
+pub fn with_kernel(mut e: Execution, kernel: KernelPath) -> Execution {
+    e.kernel = kernel;
+    e
 }
 
 /// Best-of-`repeats` measurement of one execution.
 pub fn measure<S: WaveSolver>(s: &mut S, exec: &Execution, repeats: usize) -> RunStats {
+    measure_dyn(s, exec, repeats)
+}
+
+/// [`measure`] over a trait object (lets harness code loop over models).
+pub fn measure_dyn(s: &mut dyn WaveSolver, exec: &Execution, repeats: usize) -> RunStats {
     assert!(repeats >= 1);
     let mut best: Option<RunStats> = None;
     for _ in 0..repeats {

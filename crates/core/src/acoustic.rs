@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use crate::config::SimConfig;
-use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
+use crate::operator::{Execution, KernelPath, RunStats, Schedule, SparseMode, WaveSolver};
 use crate::shared::{LevelRing, RingCheckpoint};
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
@@ -23,6 +23,7 @@ use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, Model, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{laplacian_at, laplacian_at_r, AxisWeights};
+use tempest_stencil::simd::{laplacian_pencil, laplacian_pencil_r, LANE};
 use tempest_stencil::metrics::acoustic_cost;
 use tempest_tiling::{spaceblock, wavefront};
 
@@ -81,7 +82,7 @@ impl Acoustic {
             .as_ref()
             .map(|r| TraceBuffer::new(cfg.nt, r.num_receivers()));
         Acoustic {
-            ring: LevelRing::new(shape, radius, 3),
+            ring: LevelRing::new_lane_aligned(shape, radius, 3, LANE),
             cfg,
             c1,
             c2,
@@ -136,16 +137,108 @@ impl Acoustic {
     }
 
     /// Compute timestep `k` (writing level `k + 2`) for `region`.
-    fn step_region(&self, k: usize, region: &Range3, mode: SparseMode) {
-        match self.radius {
-            1 => self.step_r::<1>(k, region, mode),
-            2 => self.step_r::<2>(k, region, mode),
-            3 => self.step_r::<3>(k, region, mode),
-            4 => self.step_r::<4>(k, region, mode),
-            6 => self.step_r::<6>(k, region, mode),
-            8 => self.step_r::<8>(k, region, mode),
-            _ => self.step_dyn(k, region, mode),
+    fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
+        match kernel {
+            KernelPath::Scalar => match self.radius {
+                1 => self.step_r::<1>(k, region, mode),
+                2 => self.step_r::<2>(k, region, mode),
+                3 => self.step_r::<3>(k, region, mode),
+                4 => self.step_r::<4>(k, region, mode),
+                6 => self.step_r::<6>(k, region, mode),
+                8 => self.step_r::<8>(k, region, mode),
+                _ => self.step_dyn(k, region, mode),
+            },
+            KernelPath::Pencil => match self.radius {
+                1 => self.step_pencil_r::<1>(k, region, mode),
+                2 => self.step_pencil_r::<2>(k, region, mode),
+                3 => self.step_pencil_r::<3>(k, region, mode),
+                4 => self.step_pencil_r::<4>(k, region, mode),
+                6 => self.step_pencil_r::<6>(k, region, mode),
+                8 => self.step_pencil_r::<8>(k, region, mode),
+                _ => self.step_pencil_dyn(k, region, mode),
+            },
         }
+    }
+
+    /// Pencil-kernel twin of [`step_r`](Self::step_r): one whole-row
+    /// Laplacian call per `z`-row, then a slice-zipped leap-frog combine.
+    /// Bitwise-identical to the scalar path (same per-point accumulation
+    /// order; sub-lane remainders fall back to the scalar kernel).
+    fn step_pencil_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        obs::add(
+            obs::Counter::PencilRows,
+            ((region.x1 - region.x0) * (region.y1 - region.y0)) as u64,
+        );
+        // SAFETY: as in step_r — disjoint region writes, settled reads.
+        let u0 = unsafe { self.ring.level(k + 1) };
+        let um = unsafe { self.ring.level(k) };
+        let (sx, sy) = (self.ring.sx(), self.ring.sy());
+        let wx: [f32; R] = self.wx[..].try_into().expect("radius mismatch");
+        let wy: [f32; R] = self.wy[..].try_into().expect("radius mismatch");
+        let wz: [f32; R] = self.wz[..].try_into().expect("radius mismatch");
+        let n = region.z1 - region.z0;
+        let mut lap = vec![0.0f32; n];
+        for x in region.x0..region.x1 {
+            for y in region.y0..region.y1 {
+                let un = unsafe { self.ring.pencil_mut(k + 2, x, y) };
+                let i0 = self.ring.idx(x, y, region.z0);
+                let c1r = self.c1.pencil(x, y);
+                let c2r = self.c2.pencil(x, y);
+                let c3r = self.c3.pencil(x, y);
+                laplacian_pencil_r::<R>(u0, i0, sx, sy, self.center, &wx, &wy, &wz, &mut lap);
+                let out = &mut un[region.z0..region.z1];
+                let u0w = &u0[i0..i0 + n];
+                let umw = &um[i0..i0 + n];
+                let c1w = &c1r[region.z0..region.z1];
+                let c2w = &c2r[region.z0..region.z1];
+                let c3w = &c3r[region.z0..region.z1];
+                for j in 0..n {
+                    out[j] = c1w[j] * u0w[j] - c2w[j] * umw[j] + c3w[j] * lap[j];
+                }
+                self.fused_sparse(k, x, y, region, un, c3r, mode);
+            }
+        }
+        sw.stop();
+    }
+
+    /// Pencil twin of [`step_dyn`](Self::step_dyn) (dynamic radius).
+    fn step_pencil_dyn(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        obs::add(
+            obs::Counter::PencilRows,
+            ((region.x1 - region.x0) * (region.y1 - region.y0)) as u64,
+        );
+        let u0 = unsafe { self.ring.level(k + 1) };
+        let um = unsafe { self.ring.level(k) };
+        let (sx, sy) = (self.ring.sx(), self.ring.sy());
+        let n = region.z1 - region.z0;
+        let mut lap = vec![0.0f32; n];
+        for x in region.x0..region.x1 {
+            for y in region.y0..region.y1 {
+                let un = unsafe { self.ring.pencil_mut(k + 2, x, y) };
+                let i0 = self.ring.idx(x, y, region.z0);
+                let c1r = self.c1.pencil(x, y);
+                let c2r = self.c2.pencil(x, y);
+                let c3r = self.c3.pencil(x, y);
+                laplacian_pencil(
+                    u0, i0, sx, sy, self.center, &self.wx, &self.wy, &self.wz, &mut lap,
+                );
+                let out = &mut un[region.z0..region.z1];
+                let u0w = &u0[i0..i0 + n];
+                let umw = &um[i0..i0 + n];
+                let c1w = &c1r[region.z0..region.z1];
+                let c2w = &c2r[region.z0..region.z1];
+                let c3w = &c3r[region.z0..region.z1];
+                for j in 0..n {
+                    out[j] = c1w[j] * u0w[j] - c2w[j] * umw[j] + c3w[j] * lap[j];
+                }
+                self.fused_sparse(k, x, y, region, un, c3r, mode);
+            }
+        }
+        sw.stop();
     }
 
     fn step_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
@@ -312,7 +405,7 @@ impl Acoustic {
         for k in 0..nt {
             let this: &Acoustic = self;
             tempest_par::for_each(exec.policy, &blocks, |b| {
-                this.step_region(k, b, exec.sparse)
+                this.step_region(k, b, exec.sparse, exec.kernel)
             });
             if classic {
                 this.classic_after_step(k);
@@ -350,7 +443,7 @@ impl Acoustic {
         for k in k0..k1 {
             let this: &Acoustic = self;
             tempest_par::for_each(exec.policy, &blocks, |b| {
-                this.step_region(k, b, exec.sparse)
+                this.step_region(k, b, exec.sparse, exec.kernel)
             });
             if classic {
                 this.classic_after_step(k);
@@ -456,7 +549,7 @@ impl WaveSolver for Acoustic {
                     nt,
                     spec,
                     exec.policy,
-                    |k, region| this.step_region(k, region, exec.sparse),
+                    |k, region| this.step_region(k, region, exec.sparse, exec.kernel),
                     |k| {
                         if classic {
                             this.classic_after_step(k);
@@ -467,13 +560,13 @@ impl WaveSolver for Acoustic {
             Schedule::Wavefront { .. } => {
                 let spec = exec.wavefront_spec(self.radius, 1);
                 wavefront::execute(shape, nt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
             Schedule::WavefrontDiagonal { .. } => {
                 let spec = exec.wavefront_spec(self.radius, 1);
                 wavefront::execute_diagonal(shape, nt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
         }

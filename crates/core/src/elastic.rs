@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use crate::config::SimConfig;
-use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
+use crate::operator::{Execution, KernelPath, RunStats, Schedule, SparseMode, WaveSolver};
 use crate::shared::LevelRing;
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
@@ -31,6 +31,7 @@ use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, ElasticModel, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{staggered_diff_bwd_r, staggered_diff_fwd_r, staggered_weights};
+use tempest_stencil::simd::{staggered_pencil_bwd_r, staggered_pencil_fwd_r, LANE};
 use tempest_stencil::metrics::elastic_cost;
 use tempest_tiling::{spaceblock, wavefront};
 
@@ -104,7 +105,7 @@ impl Elastic {
         let trace = rec
             .as_ref()
             .map(|r| TraceBuffer::new(cfg.nt, r.num_receivers()));
-        let ring = || LevelRing::new(shape, radius, 2);
+        let ring = || LevelRing::new_lane_aligned(shape, radius, 2, LANE);
         Elastic {
             vx: ring(),
             vy: ring(),
@@ -167,15 +168,22 @@ impl Elastic {
 
     /// Compute virtual step `vt` for `region`. Even `vt` = velocity phase of
     /// timestep `vt/2`; odd = stress phase.
-    fn step_region(&self, vt: usize, region: &Range3, mode: SparseMode) {
+    fn step_region(&self, vt: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
         let t = vt >> 1;
-        match (self.radius, vt & 1) {
-            (2, 0) => self.vel_phase::<2>(t, region, mode),
-            (2, 1) => self.stress_phase::<2>(t, region, mode),
-            (4, 0) => self.vel_phase::<4>(t, region, mode),
-            (4, 1) => self.stress_phase::<4>(t, region, mode),
-            (6, 0) => self.vel_phase::<6>(t, region, mode),
-            (6, 1) => self.stress_phase::<6>(t, region, mode),
+        use KernelPath::{Pencil, Scalar};
+        match (kernel, self.radius, vt & 1) {
+            (Scalar, 2, 0) => self.vel_phase::<2>(t, region, mode),
+            (Scalar, 2, 1) => self.stress_phase::<2>(t, region, mode),
+            (Scalar, 4, 0) => self.vel_phase::<4>(t, region, mode),
+            (Scalar, 4, 1) => self.stress_phase::<4>(t, region, mode),
+            (Scalar, 6, 0) => self.vel_phase::<6>(t, region, mode),
+            (Scalar, 6, 1) => self.stress_phase::<6>(t, region, mode),
+            (Pencil, 2, 0) => self.vel_phase_pencil::<2>(t, region, mode),
+            (Pencil, 2, 1) => self.stress_phase_pencil::<2>(t, region, mode),
+            (Pencil, 4, 0) => self.vel_phase_pencil::<4>(t, region, mode),
+            (Pencil, 4, 1) => self.stress_phase_pencil::<4>(t, region, mode),
+            (Pencil, 6, 0) => self.vel_phase_pencil::<6>(t, region, mode),
+            (Pencil, 6, 1) => self.stress_phase_pencil::<6>(t, region, mode),
             _ => panic!(
                 "elastic propagator supports space orders 4, 8, 12 (got {})",
                 self.cfg.space_order
@@ -349,6 +357,203 @@ impl Elastic {
         sw.stop();
     }
 
+    /// Pencil-kernel twin of [`vel_phase`](Self::vel_phase): three staggered
+    /// derivative rows per velocity component, combined with the exact scalar
+    /// accumulation order so the fields stay bitwise equal.
+    fn vel_phase_pencil<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        obs::add(
+            obs::Counter::PencilRows,
+            ((region.x1 - region.x0) * (region.y1 - region.y0)) as u64,
+        );
+        let mut gathers = 0u64;
+        // SAFETY: see `vel_phase` — identical schedule contract.
+        let txx = unsafe { self.txx.level(t) };
+        let tyy = unsafe { self.tyy.level(t) };
+        let tzz = unsafe { self.tzz.level(t) };
+        let txy = unsafe { self.txy.level(t) };
+        let txz = unsafe { self.txz.level(t) };
+        let tyz = unsafe { self.tyz.level(t) };
+        let vx0 = unsafe { self.vx.level(t) };
+        let vy0 = unsafe { self.vy.level(t) };
+        let vz0 = unsafe { self.vz.level(t) };
+        let (sx, sy) = (self.vx.sx(), self.vx.sy());
+        let swx: [f32; R] = self.swx[..].try_into().expect("radius mismatch");
+        let swy: [f32; R] = self.swy[..].try_into().expect("radius mismatch");
+        let swz: [f32; R] = self.swz[..].try_into().expect("radius mismatch");
+        let n = region.z1 - region.z0;
+        let mut d = vec![0.0f32; 3 * n];
+        let (da, r) = d.split_at_mut(n);
+        let (db, dc) = r.split_at_mut(n);
+        for x in region.x0..region.x1 {
+            for y in region.y0..region.y1 {
+                let vxn = unsafe { self.vx.pencil_mut(t + 1, x, y) };
+                let vyn = unsafe { self.vy.pencil_mut(t + 1, x, y) };
+                let vzn = unsafe { self.vz.pencil_mut(t + 1, x, y) };
+                let i0 = self.vx.idx(x, y, region.z0);
+                let dtb = self.dtb.pencil(x, y);
+                let fd = self.fd.pencil(x, y);
+                // vx lives at (i+½, j, k).
+                staggered_pencil_fwd_r::<R>(txx, i0, sx, &swx, da);
+                staggered_pencil_bwd_r::<R>(txy, i0, sy, &swy, db);
+                staggered_pencil_bwd_r::<R>(txz, i0, 1, &swz, dc);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    let dvx = da[j] + db[j] + dc[j];
+                    vxn[z] = (vx0[i] + dtb[z] * dvx) * fd[z];
+                }
+                // vy lives at (i, j+½, k).
+                staggered_pencil_bwd_r::<R>(txy, i0, sx, &swx, da);
+                staggered_pencil_fwd_r::<R>(tyy, i0, sy, &swy, db);
+                staggered_pencil_bwd_r::<R>(tyz, i0, 1, &swz, dc);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    let dvy = da[j] + db[j] + dc[j];
+                    vyn[z] = (vy0[i] + dtb[z] * dvy) * fd[z];
+                }
+                // vz lives at (i, j, k+½).
+                staggered_pencil_bwd_r::<R>(txz, i0, sx, &swx, da);
+                staggered_pencil_bwd_r::<R>(tyz, i0, sy, &swy, db);
+                staggered_pencil_fwd_r::<R>(tzz, i0, 1, &swz, dc);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    let dvz = da[j] + db[j] + dc[j];
+                    vzn[z] = (vz0[i] + dtb[z] * dvz) * fd[z];
+                }
+                // Fused receiver gather of vz (the mirror of Listing 4).
+                if mode != SparseMode::Classic {
+                    if let (Some(rec), Some(trace)) = (self.rec.as_ref(), self.trace.as_ref()) {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
+                        for (z, id) in rec.comp.entries(x, y) {
+                            if z >= region.z0 && z < region.z1 {
+                                let v = vzn[z];
+                                let contribs = rec.pre.contributions(id);
+                                gathers += contribs.len() as u64;
+                                for &(r, w) in contribs {
+                                    trace.add(t, r as usize, w * v);
+                                }
+                            }
+                        }
+                        sparse_sw.stop();
+                    }
+                }
+            }
+        }
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+        sw.stop();
+    }
+
+    /// Pencil-kernel twin of [`stress_phase`](Self::stress_phase).
+    fn stress_phase_pencil<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        obs::add(
+            obs::Counter::PencilRows,
+            ((region.x1 - region.x0) * (region.y1 - region.y0)) as u64,
+        );
+        let mut injections = 0u64;
+        let vx1 = unsafe { self.vx.level(t + 1) };
+        let vy1 = unsafe { self.vy.level(t + 1) };
+        let vz1 = unsafe { self.vz.level(t + 1) };
+        let txx0 = unsafe { self.txx.level(t) };
+        let tyy0 = unsafe { self.tyy.level(t) };
+        let tzz0 = unsafe { self.tzz.level(t) };
+        let txy0 = unsafe { self.txy.level(t) };
+        let txz0 = unsafe { self.txz.level(t) };
+        let tyz0 = unsafe { self.tyz.level(t) };
+        let (sx, sy) = (self.vx.sx(), self.vx.sy());
+        let swx: [f32; R] = self.swx[..].try_into().expect("radius mismatch");
+        let swy: [f32; R] = self.swy[..].try_into().expect("radius mismatch");
+        let swz: [f32; R] = self.swz[..].try_into().expect("radius mismatch");
+        let n = region.z1 - region.z0;
+        let mut d = vec![0.0f32; 3 * n];
+        let (da, r) = d.split_at_mut(n);
+        let (db, dc) = r.split_at_mut(n);
+        for x in region.x0..region.x1 {
+            for y in region.y0..region.y1 {
+                let txxn = unsafe { self.txx.pencil_mut(t + 1, x, y) };
+                let tyyn = unsafe { self.tyy.pencil_mut(t + 1, x, y) };
+                let tzzn = unsafe { self.tzz.pencil_mut(t + 1, x, y) };
+                let txyn = unsafe { self.txy.pencil_mut(t + 1, x, y) };
+                let txzn = unsafe { self.txz.pencil_mut(t + 1, x, y) };
+                let tyzn = unsafe { self.tyz.pencil_mut(t + 1, x, y) };
+                let i0 = self.vx.idx(x, y, region.z0);
+                let lam = self.lam_dt.pencil(x, y);
+                let mu = self.mu_dt.pencil(x, y);
+                let mu2 = self.mu2_dt.pencil(x, y);
+                let fd = self.fd.pencil(x, y);
+                // Normal stresses live at (i, j, k).
+                staggered_pencil_bwd_r::<R>(vx1, i0, sx, &swx, da);
+                staggered_pencil_bwd_r::<R>(vy1, i0, sy, &swy, db);
+                staggered_pencil_bwd_r::<R>(vz1, i0, 1, &swz, dc);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    let (exx, eyy, ezz) = (da[j], db[j], dc[j]);
+                    let ldiv = lam[z] * (exx + eyy + ezz);
+                    txxn[z] = (txx0[i] + ldiv + mu2[z] * exx) * fd[z];
+                    tyyn[z] = (tyy0[i] + ldiv + mu2[z] * eyy) * fd[z];
+                    tzzn[z] = (tzz0[i] + ldiv + mu2[z] * ezz) * fd[z];
+                }
+                // Shear stresses at the edge-staggered positions.
+                staggered_pencil_fwd_r::<R>(vx1, i0, sy, &swy, da);
+                staggered_pencil_fwd_r::<R>(vy1, i0, sx, &swx, db);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    txyn[z] = (txy0[i] + mu[z] * (da[j] + db[j])) * fd[z];
+                }
+                staggered_pencil_fwd_r::<R>(vx1, i0, 1, &swz, da);
+                staggered_pencil_fwd_r::<R>(vz1, i0, sx, &swx, db);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    txzn[z] = (txz0[i] + mu[z] * (da[j] + db[j])) * fd[z];
+                }
+                staggered_pencil_fwd_r::<R>(vy1, i0, 1, &swz, da);
+                staggered_pencil_fwd_r::<R>(vz1, i0, sy, &swy, db);
+                for j in 0..n {
+                    let (z, i) = (region.z0 + j, i0 + j);
+                    tyzn[z] = (tyz0[i] + mu[z] * (da[j] + db[j])) * fd[z];
+                }
+                // Fused explosive source into the normal stresses.
+                match mode {
+                    SparseMode::Classic => {}
+                    SparseMode::Fused => {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
+                        let dcmp = self.src.pre.dcmp_row(t);
+                        let sm = self.src.pre.sm_pencil(x, y);
+                        let sid = self.src.pre.sid_pencil(x, y);
+                        for z in region.z0..region.z1 {
+                            if sm[z] != 0 {
+                                let v = self.cfg.dt * dcmp[sid[z] as usize];
+                                txxn[z] += v;
+                                tyyn[z] += v;
+                                tzzn[z] += v;
+                                injections += 1;
+                            }
+                        }
+                        sparse_sw.stop();
+                    }
+                    SparseMode::FusedCompressed => {
+                        let sparse_sw = obs::start(obs::Phase::Sparse);
+                        let dcmp = self.src.pre.dcmp_row(t);
+                        for (z, id) in self.src.comp.entries(x, y) {
+                            if z >= region.z0 && z < region.z1 {
+                                let v = self.cfg.dt * dcmp[id];
+                                txxn[z] += v;
+                                tyyn[z] += v;
+                                tzzn[z] += v;
+                                injections += 1;
+                            }
+                        }
+                        sparse_sw.stop();
+                    }
+                }
+            }
+        }
+        obs::add(obs::Counter::SourceInjections, injections);
+        sw.stop();
+    }
+
     /// Classic per-timestep sparse operators (space-blocked baseline only).
     fn classic_after_step(&self, t: usize) {
         let sw = obs::start(obs::Phase::Sparse);
@@ -417,7 +622,7 @@ impl WaveSolver for Elastic {
                     nvt,
                     spec,
                     exec.policy,
-                    |vt, region| this.step_region(vt, region, exec.sparse),
+                    |vt, region| this.step_region(vt, region, exec.sparse, exec.kernel),
                     |vt| {
                         // The classic sparse ops run once per *timestep*,
                         // after its stress phase.
@@ -432,13 +637,13 @@ impl WaveSolver for Elastic {
                 // doubles the temporal tile height (Fig. 8b).
                 let spec = exec.wavefront_spec(self.radius, 2);
                 wavefront::execute(shape, nvt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
             Schedule::WavefrontDiagonal { .. } => {
                 let spec = exec.wavefront_spec(self.radius, 2);
                 wavefront::execute_diagonal(shape, nvt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
         }

@@ -24,6 +24,25 @@ pub enum SparseMode {
     FusedCompressed,
 }
 
+/// Which dense-kernel implementation computes the stencil updates.
+///
+/// Both paths are bitwise-identical by construction (asserted by the
+/// kernel-equivalence test suite): the pencil kernels replicate the scalar
+/// per-point accumulation order exactly and fall back to the scalar kernels
+/// for sub-lane row remainders. The selector exists so benchmarks and the
+/// ablation can quantify the vectorisation win in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// Per-point kernels (`tempest_stencil::kernels`): one bounds-checked
+    /// call per grid point, vectorisation left to the compiler.
+    Scalar,
+    /// Whole-row SIMD-lane kernels (`tempest_stencil::simd`): per-offset
+    /// slice windows hoist every bounds check out of the inner loop, which
+    /// runs in explicit 8-wide lanes. The default.
+    #[default]
+    Pencil,
+}
+
 /// Which loop schedule traverses the space-time domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
@@ -79,6 +98,8 @@ pub struct Execution {
     pub sparse: SparseMode,
     /// Thread policy for independent blocks.
     pub policy: Policy,
+    /// The dense-kernel implementation (scalar per-point vs SIMD pencil).
+    pub kernel: KernelPath,
 }
 
 impl Execution {
@@ -92,6 +113,7 @@ impl Execution {
             },
             sparse: SparseMode::Classic,
             policy: Policy::default(),
+            kernel: KernelPath::default(),
         }
     }
 
@@ -109,6 +131,7 @@ impl Execution {
             },
             sparse: SparseMode::FusedCompressed,
             policy: Policy::default(),
+            kernel: KernelPath::default(),
         }
     }
 
@@ -125,12 +148,26 @@ impl Execution {
             },
             sparse: SparseMode::FusedCompressed,
             policy: Policy::default(),
+            kernel: KernelPath::default(),
         }
     }
 
     /// Force sequential execution (reproducible timings on shared machines).
     pub fn sequential(mut self) -> Self {
         self.policy = Policy::Sequential;
+        self
+    }
+
+    /// Select the scalar per-point kernels (the pre-vectorisation path, kept
+    /// for ablation and equivalence testing).
+    pub fn scalar_kernels(mut self) -> Self {
+        self.kernel = KernelPath::Scalar;
+        self
+    }
+
+    /// Select the SIMD pencil kernels (the default).
+    pub fn pencil_kernels(mut self) -> Self {
+        self.kernel = KernelPath::Pencil;
         self
     }
 

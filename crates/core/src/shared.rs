@@ -31,6 +31,9 @@ pub struct LevelRing {
     shape: Shape,
     halo: usize,
     pdims: [usize; 3],
+    /// Left padding of the `z` axis: `halo` for plain rings, rounded up to a
+    /// lane multiple for lane-aligned rings (see [`new_lane_aligned`](Self::new_lane_aligned)).
+    z0: usize,
 }
 
 // SAFETY: all mutation goes through raw pointers under the documented
@@ -42,16 +45,37 @@ impl LevelRing {
     /// Allocate `num_levels` zeroed volumes of `shape` interior plus a halo
     /// of `halo` points on every side.
     pub fn new(shape: Shape, halo: usize, num_levels: usize) -> Self {
+        let pnz = shape.nz + 2 * halo;
+        Self::alloc(shape, halo, num_levels, halo, pnz)
+    }
+
+    /// Like [`new`](Self::new), but with the `z` axis padded so every
+    /// interior pencil base (`idx(x, y, 0)`) is a multiple of `lane`:
+    /// the left `z` padding is `halo` rounded up to a lane multiple, and the
+    /// physical row length is itself a lane multiple. Strides change, values
+    /// and visible layout semantics do not — the interior and halo reads of
+    /// every stencil stay in bounds exactly as for a plain ring.
+    pub fn new_lane_aligned(shape: Shape, halo: usize, num_levels: usize, lane: usize) -> Self {
+        assert!(lane > 0, "lane width must be non-zero");
+        let z0 = halo.next_multiple_of(lane);
+        let pnz = (z0 + shape.nz + halo).next_multiple_of(lane);
+        Self::alloc(shape, halo, num_levels, z0, pnz)
+    }
+
+    fn alloc(shape: Shape, halo: usize, num_levels: usize, z0: usize, pnz: usize) -> Self {
         assert!(num_levels >= 2, "a time ring needs at least two levels");
+        debug_assert!(z0 >= halo && pnz >= z0 + shape.nz + halo);
         let p = shape.padded(halo);
-        let n = p.len();
+        let pdims = [p.nx, p.ny, pnz];
+        let n = pdims[0] * pdims[1] * pdims[2];
         LevelRing {
             levels: (0..num_levels)
                 .map(|_| UnsafeCell::new(vec![0.0f32; n].into_boxed_slice()))
                 .collect(),
             shape,
             halo,
-            pdims: [p.nx, p.ny, p.nz],
+            pdims,
+            z0,
         }
     }
 
@@ -94,7 +118,7 @@ impl LevelRing {
     /// Raw linear index of interior point `(x, y, z)`.
     #[inline]
     pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
-        ((x + self.halo) * self.pdims[1] + (y + self.halo)) * self.pdims[2] + (z + self.halo)
+        ((x + self.halo) * self.pdims[1] + (y + self.halo)) * self.pdims[2] + (z + self.z0)
     }
 
     /// Shared view of the level holding step `t`.
@@ -204,6 +228,47 @@ mod tests {
         assert_eq!(r.sy(), 10);
         assert_eq!(r.idx(0, 0, 0), (2 * 9 + 2) * 10 + 2);
         assert_eq!(r.slot(5), 2);
+    }
+
+    #[test]
+    fn lane_aligned_ring_has_aligned_pencil_bases() {
+        for (shape, halo, lane) in [
+            (Shape::new(4, 5, 6), 2, 8),
+            (Shape::new(7, 3, 13), 4, 8),
+            (Shape::cube(8), 6, 8),
+            (Shape::cube(5), 3, 4),
+        ] {
+            let r = LevelRing::new_lane_aligned(shape, halo, 2, lane);
+            assert_eq!(r.sy() % lane, 0, "row length must be a lane multiple");
+            for x in 0..shape.nx {
+                for y in 0..shape.ny {
+                    assert_eq!(r.idx(x, y, 0) % lane, 0, "pencil ({x},{y}) unaligned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_aligned_ring_matches_plain_ring_values() {
+        let shape = Shape::new(4, 4, 11);
+        let mut a = LevelRing::new(shape, 2, 2);
+        let mut b = LevelRing::new_lane_aligned(shape, 2, 2, 8);
+        for (x, y, z) in shape.iter() {
+            let v = (x * 100 + y * 10 + z) as f32 * 0.5;
+            unsafe {
+                a.pencil_mut(1, x, y)[z] = v;
+                b.pencil_mut(1, x, y)[z] = v;
+            }
+        }
+        assert!(a.interior_copy(1).bit_equal(&b.interior_copy(1)));
+        // Halo reads around the interior are zero in both layouts.
+        let (ia, ib) = (a.idx(0, 0, 0), b.idx(0, 0, 0));
+        unsafe {
+            assert_eq!(a.level(1)[ia - 2], 0.0);
+            assert_eq!(b.level(1)[ib - 2], 0.0);
+            assert_eq!(a.level(1)[ia - 2 * a.sy()], 0.0);
+            assert_eq!(b.level(1)[ib - 2 * b.sy()], 0.0);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use crate::config::SimConfig;
-use crate::operator::{Execution, RunStats, Schedule, SparseMode, WaveSolver};
+use crate::operator::{Execution, KernelPath, RunStats, Schedule, SparseMode, WaveSolver};
 use crate::shared::LevelRing;
 use crate::sources::{ReceiverBundle, SourceBundle};
 use crate::trace::TraceBuffer;
@@ -32,6 +32,7 @@ use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{
     cross_diff_r, first_derivative_weights, second_diff_axis_r, AxisWeights,
 };
+use tempest_stencil::simd::{cross_diff_pencil_r, second_diff_pencil_r, LANE};
 use tempest_stencil::metrics::tti_cost;
 use tempest_tiling::{spaceblock, wavefront};
 
@@ -121,8 +122,8 @@ impl Tti {
             .as_ref()
             .map(|r| TraceBuffer::new(cfg.nt, r.num_receivers()));
         Tti {
-            p: LevelRing::new(shape, radius, 3),
-            q: LevelRing::new(shape, radius, 3),
+            p: LevelRing::new_lane_aligned(shape, radius, 3, LANE),
+            q: LevelRing::new_lane_aligned(shape, radius, 3, LANE),
             cfg,
             c1,
             c2,
@@ -166,11 +167,14 @@ impl Tti {
         }
     }
 
-    fn step_region(&self, k: usize, region: &Range3, mode: SparseMode) {
-        match self.radius {
-            2 => self.step_r::<2>(k, region, mode),
-            4 => self.step_r::<4>(k, region, mode),
-            6 => self.step_r::<6>(k, region, mode),
+    fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
+        match (kernel, self.radius) {
+            (KernelPath::Scalar, 2) => self.step_r::<2>(k, region, mode),
+            (KernelPath::Scalar, 4) => self.step_r::<4>(k, region, mode),
+            (KernelPath::Scalar, 6) => self.step_r::<6>(k, region, mode),
+            (KernelPath::Pencil, 2) => self.step_pencil_r::<2>(k, region, mode),
+            (KernelPath::Pencil, 4) => self.step_pencil_r::<4>(k, region, mode),
+            (KernelPath::Pencil, 6) => self.step_pencil_r::<6>(k, region, mode),
             _ => panic!(
                 "TTI propagator supports space orders 4, 8, 12 (radius {}, got order {})",
                 self.radius, self.cfg.space_order
@@ -246,6 +250,100 @@ impl Tti {
                         + g5[z] * qyz;
                     let gh_p = (pxx + pyy + pzz) - gzz_p;
 
+                    let rhs_p = er[z] * gh_p + dr[z] * gzz_q;
+                    let rhs_q = dr[z] * gh_p + gzz_q;
+                    pn[z] = c1r[z] * p0[i] - c2r[z] * pm[i] + c3r[z] * rhs_p;
+                    qn[z] = c1r[z] * q0[i] - c2r[z] * qm[i] + c3r[z] * rhs_q;
+                }
+                self.fused_sparse(k, x, y, region, pn, qn, c3r, mode);
+            }
+        }
+        sw.stop();
+    }
+
+    /// Pencil-kernel twin of [`step_r`](Self::step_r): the twelve derivative
+    /// volumes per point (six per field) become twelve whole-row kernel
+    /// calls per `z`-row, followed by one combine loop that replays the
+    /// scalar accumulation chain term-for-term — results stay bitwise equal.
+    #[allow(clippy::too_many_arguments)]
+    fn step_pencil_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+        let sw = obs::start(obs::Phase::Stencil);
+        obs::add(obs::Counter::StencilUpdates, region.len() as u64);
+        obs::add(
+            obs::Counter::PencilRows,
+            ((region.x1 - region.x0) * (region.y1 - region.y0)) as u64,
+        );
+        // SAFETY: see `step_r` — identical schedule contract.
+        let p0 = unsafe { self.p.level(k + 1) };
+        let pm = unsafe { self.p.level(k) };
+        let q0 = unsafe { self.q.level(k + 1) };
+        let qm = unsafe { self.q.level(k) };
+        let (sx, sy) = (self.p.sx(), self.p.sy());
+        let w1x: [f32; R] = self.w1x[..].try_into().expect("radius mismatch");
+        let w1y: [f32; R] = self.w1y[..].try_into().expect("radius mismatch");
+        let w1z: [f32; R] = self.w1z[..].try_into().expect("radius mismatch");
+        let wxx: [f32; R] = self.wxx.side[..].try_into().expect("radius mismatch");
+        let wyy: [f32; R] = self.wyy.side[..].try_into().expect("radius mismatch");
+        let wzz: [f32; R] = self.wzz.side[..].try_into().expect("radius mismatch");
+        let (cxx, cyy, czz) = (self.wxx.center, self.wyy.center, self.wzz.center);
+        let n = region.z1 - region.z0;
+        // Twelve derivative rows, reused across every pencil in the region.
+        let mut d = vec![0.0f32; 12 * n];
+        let (dp, dq) = d.split_at_mut(6 * n);
+        let (pxx, r) = dp.split_at_mut(n);
+        let (pyy, r) = r.split_at_mut(n);
+        let (pzz, r) = r.split_at_mut(n);
+        let (pxy, r) = r.split_at_mut(n);
+        let (pxz, pyz) = r.split_at_mut(n);
+        let (qxx, r) = dq.split_at_mut(n);
+        let (qyy, r) = r.split_at_mut(n);
+        let (qzz, r) = r.split_at_mut(n);
+        let (qxy, r) = r.split_at_mut(n);
+        let (qxz, qyz) = r.split_at_mut(n);
+        for x in region.x0..region.x1 {
+            for y in region.y0..region.y1 {
+                let pn = unsafe { self.p.pencil_mut(k + 2, x, y) };
+                let qn = unsafe { self.q.pencil_mut(k + 2, x, y) };
+                let i0 = self.p.idx(x, y, region.z0);
+                let c1r = self.c1.pencil(x, y);
+                let c2r = self.c2.pencil(x, y);
+                let c3r = self.c3.pencil(x, y);
+                let er = self.eps2.pencil(x, y);
+                let dr = self.delta_bar.pencil(x, y);
+                let g0 = self.gz[0].pencil(x, y);
+                let g1 = self.gz[1].pencil(x, y);
+                let g2 = self.gz[2].pencil(x, y);
+                let g3 = self.gz[3].pencil(x, y);
+                let g4 = self.gz[4].pencil(x, y);
+                let g5 = self.gz[5].pencil(x, y);
+                second_diff_pencil_r::<R>(p0, i0, sx, cxx, &wxx, pxx);
+                second_diff_pencil_r::<R>(p0, i0, sy, cyy, &wyy, pyy);
+                second_diff_pencil_r::<R>(p0, i0, 1, czz, &wzz, pzz);
+                cross_diff_pencil_r::<R>(p0, i0, sx, sy, &w1x, &w1y, pxy);
+                cross_diff_pencil_r::<R>(p0, i0, sx, 1, &w1x, &w1z, pxz);
+                cross_diff_pencil_r::<R>(p0, i0, sy, 1, &w1y, &w1z, pyz);
+                second_diff_pencil_r::<R>(q0, i0, sx, cxx, &wxx, qxx);
+                second_diff_pencil_r::<R>(q0, i0, sy, cyy, &wyy, qyy);
+                second_diff_pencil_r::<R>(q0, i0, 1, czz, &wzz, qzz);
+                cross_diff_pencil_r::<R>(q0, i0, sx, sy, &w1x, &w1y, qxy);
+                cross_diff_pencil_r::<R>(q0, i0, sx, 1, &w1x, &w1z, qxz);
+                cross_diff_pencil_r::<R>(q0, i0, sy, 1, &w1y, &w1z, qyz);
+                for j in 0..n {
+                    let z = region.z0 + j;
+                    let i = i0 + j;
+                    let gzz_p = g0[z] * pxx[j]
+                        + g1[z] * pyy[j]
+                        + g2[z] * pzz[j]
+                        + g3[z] * pxy[j]
+                        + g4[z] * pxz[j]
+                        + g5[z] * pyz[j];
+                    let gzz_q = g0[z] * qxx[j]
+                        + g1[z] * qyy[j]
+                        + g2[z] * qzz[j]
+                        + g3[z] * qxy[j]
+                        + g4[z] * qxz[j]
+                        + g5[z] * qyz[j];
+                    let gh_p = (pxx[j] + pyy[j] + pzz[j]) - gzz_p;
                     let rhs_p = er[z] * gh_p + dr[z] * gzz_q;
                     let rhs_q = dr[z] * gh_p + gzz_q;
                     pn[z] = c1r[z] * p0[i] - c2r[z] * pm[i] + c3r[z] * rhs_p;
@@ -389,7 +487,7 @@ impl WaveSolver for Tti {
                     nt,
                     spec,
                     exec.policy,
-                    |k, region| this.step_region(k, region, exec.sparse),
+                    |k, region| this.step_region(k, region, exec.sparse, exec.kernel),
                     |k| {
                         if classic {
                             this.classic_after_step(k);
@@ -400,13 +498,13 @@ impl WaveSolver for Tti {
             Schedule::Wavefront { .. } => {
                 let spec = exec.wavefront_spec(self.radius, 1);
                 wavefront::execute(shape, nt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
             Schedule::WavefrontDiagonal { .. } => {
                 let spec = exec.wavefront_spec(self.radius, 1);
                 wavefront::execute_diagonal(shape, nt, &spec, exec.policy, |vt, region| {
-                    this.step_region(vt, region, exec.sparse)
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
         }

@@ -8,9 +8,18 @@
 use crate::shape::Shape;
 
 /// A dense 3-D array with `z` contiguous.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Each `z`-row occupies `z_stride() >= nz` physical elements; the default
+/// constructors pack rows tightly (`z_stride() == nz`), while the
+/// `*_lane_aligned` constructors pad every row to a multiple of a SIMD lane
+/// width so pencil base addresses share the same lane phase (see
+/// `tempest_stencil::simd`). The padding elements are storage only: they are
+/// invisible to indexing, iteration, comparisons and norms.
+#[derive(Debug, Clone)]
 pub struct Array3<T> {
     dims: [usize; 3],
+    /// Physical length of one `z`-row (`>= dims[2]`).
+    zs: usize,
     data: Vec<T>,
 }
 
@@ -20,6 +29,7 @@ impl<T: Copy + Default> Array3<T> {
         assert!(nx > 0 && ny > 0 && nz > 0, "array extents must be non-zero");
         Array3 {
             dims: [nx, ny, nz],
+            zs: nz,
             data: vec![T::default(); nx * ny * nz],
         }
     }
@@ -34,8 +44,40 @@ impl<T: Copy + Default> Array3<T> {
         assert!(nx > 0 && ny > 0 && nz > 0, "array extents must be non-zero");
         Array3 {
             dims: [nx, ny, nz],
+            zs: nz,
             data: vec![v; nx * ny * nz],
         }
+    }
+
+    /// Allocate zero-initialised with every `z`-row padded to a multiple of
+    /// `lane` elements, so each pencil starts at a lane-phase-aligned offset.
+    pub fn zeros_lane_aligned(nx: usize, ny: usize, nz: usize, lane: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "array extents must be non-zero");
+        assert!(lane > 0, "lane width must be non-zero");
+        let zs = nz.next_multiple_of(lane);
+        Array3 {
+            dims: [nx, ny, nz],
+            zs,
+            data: vec![T::default(); nx * ny * zs],
+        }
+    }
+
+    /// Allocate from a [`Shape`] with lane-aligned `z`-rows.
+    pub fn from_shape_lane_aligned(s: Shape, lane: usize) -> Self {
+        Self::zeros_lane_aligned(s.nx, s.ny, s.nz, lane)
+    }
+
+    /// Copy into a new array whose `z`-rows are padded to a multiple of
+    /// `lane`. The logical content is identical (`bit_equal` for `f32`).
+    pub fn to_lane_aligned(&self, lane: usize) -> Self {
+        let [nx, ny, nz] = self.dims;
+        let mut out = Self::zeros_lane_aligned(nx, ny, nz, lane);
+        for x in 0..nx {
+            for y in 0..ny {
+                out.pencil_mut(x, y).copy_from_slice(self.pencil(x, y));
+            }
+        }
+        out
     }
 }
 
@@ -51,7 +93,7 @@ impl<T: Copy> Array3<T> {
         Shape::new(self.dims[0], self.dims[1], self.dims[2])
     }
 
-    /// Total element count.
+    /// Allocated element count, *including* any lane-alignment row padding.
     #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
@@ -62,16 +104,22 @@ impl<T: Copy> Array3<T> {
         self.data.is_empty()
     }
 
-    /// Stride of the `x` axis in elements (`ny * nz`).
+    /// Stride of the `x` axis in elements (`ny * z_stride`).
     #[inline]
     pub fn stride_x(&self) -> usize {
-        self.dims[1] * self.dims[2]
+        self.dims[1] * self.zs
     }
 
-    /// Stride of the `y` axis in elements (`nz`).
+    /// Stride of the `y` axis in elements (the physical `z`-row length).
     #[inline]
     pub fn stride_y(&self) -> usize {
-        self.dims[2]
+        self.zs
+    }
+
+    /// Physical length of one `z`-row; equals `nz` unless lane-aligned.
+    #[inline]
+    pub fn z_stride(&self) -> usize {
+        self.zs
     }
 
     /// Linear index of `(x, y, z)`.
@@ -82,7 +130,7 @@ impl<T: Copy> Array3<T> {
             "index ({x},{y},{z}) out of bounds {:?}",
             self.dims
         );
-        (x * self.dims[1] + y) * self.dims[2] + z
+        (x * self.dims[1] + y) * self.zs + z
     }
 
     /// Read one element.
@@ -98,16 +146,26 @@ impl<T: Copy> Array3<T> {
         self.data[i] = v;
     }
 
-    /// Borrow the whole backing slice.
+    /// Borrow the whole backing slice (includes alignment padding, if any;
+    /// tightly packed for default-constructed arrays).
     #[inline]
     pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
-    /// Mutably borrow the whole backing slice.
+    /// Mutably borrow the whole backing slice (see [`as_slice`](Self::as_slice)).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
+    }
+
+    /// Iterate the logical `z`-rows (length `nz` each) in `(x, y)` order,
+    /// skipping any alignment padding.
+    #[inline]
+    pub fn rows(&self) -> impl Iterator<Item = &[T]> + '_ {
+        let nz = self.dims[2];
+        let zs = self.zs;
+        (0..self.dims[0] * self.dims[1]).map(move |r| &self.data[r * zs..r * zs + nz])
     }
 
     /// The contiguous `z` pencil at `(x, y)`.
@@ -125,60 +183,76 @@ impl<T: Copy> Array3<T> {
         &mut self.data[start..start + nz]
     }
 
-    /// Fill every element with `v`.
+    /// Fill every element with `v` (alignment padding included — it is
+    /// storage only and never read back through the logical API).
     pub fn fill(&mut self, v: T) {
         self.data.fill(v);
     }
 
-    /// Iterate `(x, y, z, value)` in canonical order.
+    /// Iterate `(x, y, z, value)` in canonical order (padding skipped).
     pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, usize, T)> + '_ {
-        let [_, ny, nz] = self.dims;
-        self.data.iter().enumerate().map(move |(i, &v)| {
-            let z = i % nz;
-            let y = (i / nz) % ny;
-            let x = i / (nz * ny);
-            (x, y, z, v)
+        let ny = self.dims[1];
+        self.rows().enumerate().flat_map(move |(r, row)| {
+            let (x, y) = (r / ny, r % ny);
+            row.iter().enumerate().map(move |(z, &v)| (x, y, z, v))
         })
     }
 }
 
 impl Array3<f32> {
-    /// Maximum absolute value (0 for an all-zero array).
+    /// Maximum absolute value (0 for an all-zero array; padding ignored).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+        self.rows()
+            .flatten()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
     }
 
-    /// L2 norm of the array.
+    /// L2 norm of the array (padding ignored).
     pub fn norm_l2(&self) -> f64 {
-        self.data
-            .iter()
+        self.rows()
+            .flatten()
             .map(|&v| (v as f64) * (v as f64))
             .sum::<f64>()
             .sqrt()
     }
 
-    /// Largest absolute element-wise difference against `other`.
+    /// Largest absolute element-wise difference against `other`. The arrays
+    /// may differ in alignment padding; only logical content is compared.
     pub fn max_abs_diff(&self, other: &Array3<f32>) -> f32 {
         assert_eq!(self.dims, other.dims, "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
+        self.rows()
+            .flatten()
+            .zip(other.rows().flatten())
             .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
 
-    /// Exact bitwise equality with `other` (used by schedule-equivalence tests).
+    /// Exact bitwise equality with `other` (used by schedule-equivalence
+    /// tests). Alignment padding is not compared, so a lane-aligned array
+    /// `bit_equal`s its tightly packed twin.
     pub fn bit_equal(&self, other: &Array3<f32>) -> bool {
         self.dims == other.dims
             && self
-                .data
-                .iter()
-                .zip(&other.data)
+                .rows()
+                .flatten()
+                .zip(other.rows().flatten())
                 .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
-    /// Count of non-zero elements.
+    /// Count of non-zero elements (padding ignored).
     pub fn count_nonzero(&self) -> usize {
-        self.data.iter().filter(|&&v| v != 0.0).count()
+        self.rows().flatten().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// Logical equality: same dimensions and same content, regardless of any
+/// difference in alignment padding.
+impl<T: Copy + PartialEq> PartialEq for Array3<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims
+            && self
+                .rows()
+                .zip(other.rows())
+                .all(|(a, b)| a == b)
     }
 }
 
@@ -186,14 +260,14 @@ impl<T: Copy> std::ops::Index<(usize, usize, usize)> for Array3<T> {
     type Output = T;
     #[inline]
     fn index(&self, (x, y, z): (usize, usize, usize)) -> &T {
-        &self.data[(x * self.dims[1] + y) * self.dims[2] + z]
+        &self.data[(x * self.dims[1] + y) * self.zs + z]
     }
 }
 
 impl<T: Copy> std::ops::IndexMut<(usize, usize, usize)> for Array3<T> {
     #[inline]
     fn index_mut(&mut self, (x, y, z): (usize, usize, usize)) -> &mut T {
-        &mut self.data[(x * self.dims[1] + y) * self.dims[2] + z]
+        &mut self.data[(x * self.dims[1] + y) * self.zs + z]
     }
 }
 
@@ -396,5 +470,66 @@ mod tests {
         let mut a: Array3<f32> = Array3::full(2, 2, 2, 3.0);
         a.fill(0.0);
         assert_eq!(a.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn lane_aligned_pads_z_rows() {
+        let a: Array3<f32> = Array3::zeros_lane_aligned(3, 4, 13, 8);
+        assert_eq!(a.dims(), [3, 4, 13]);
+        assert_eq!(a.z_stride(), 16);
+        assert_eq!(a.stride_y(), 16);
+        assert_eq!(a.stride_x(), 4 * 16);
+        assert_eq!(a.len(), 3 * 4 * 16);
+        // Every pencil base is a multiple of the lane width.
+        for x in 0..3 {
+            for y in 0..4 {
+                assert_eq!(a.idx(x, y, 0) % 8, 0, "pencil ({x},{y}) unaligned");
+            }
+        }
+        // Already-aligned extents gain no padding.
+        let b: Array3<f32> = Array3::zeros_lane_aligned(2, 2, 16, 8);
+        assert_eq!(b.z_stride(), 16);
+        assert_eq!(b.len(), 2 * 2 * 16);
+    }
+
+    #[test]
+    fn aligned_and_packed_agree_logically() {
+        let mut packed: Array3<f32> = Array3::zeros(3, 3, 11);
+        for (k, (x, y, z)) in packed.shape().iter().collect::<Vec<_>>().iter().enumerate() {
+            packed.set(*x, *y, *z, k as f32 * 0.25 - 3.0);
+        }
+        let aligned = packed.to_lane_aligned(8);
+        assert_eq!(aligned.z_stride(), 16);
+        assert!(packed.bit_equal(&aligned));
+        assert!(aligned.bit_equal(&packed));
+        assert_eq!(packed, aligned);
+        assert_eq!(packed.max_abs_diff(&aligned), 0.0);
+        assert_eq!(packed.max_abs(), aligned.max_abs());
+        assert_eq!(packed.norm_l2(), aligned.norm_l2());
+        assert_eq!(packed.count_nonzero(), aligned.count_nonzero());
+        // Accessors see identical values.
+        for (x, y, z, v) in packed.iter_indexed() {
+            assert_eq!(aligned.get(x, y, z), v);
+            assert_eq!(aligned[(x, y, z)], v);
+        }
+        // Pencils are the logical nz window, not the padded row.
+        assert_eq!(aligned.pencil(1, 2).len(), 11);
+        assert_eq!(aligned.pencil(1, 2), packed.pencil(1, 2));
+        // iter_indexed covers exactly the logical points.
+        assert_eq!(aligned.iter_indexed().count(), 3 * 3 * 11);
+    }
+
+    #[test]
+    fn aligned_mutation_stays_in_row() {
+        let mut a: Array3<f32> = Array3::zeros_lane_aligned(2, 2, 5, 8);
+        a.pencil_mut(0, 0).fill(1.0);
+        a.set(0, 1, 0, 2.0);
+        a[(1, 1, 4)] = 3.0;
+        assert_eq!(a.count_nonzero(), 7);
+        assert_eq!(a.get(0, 0, 4), 1.0);
+        assert_eq!(a.get(0, 1, 0), 2.0);
+        assert_eq!(a.get(1, 1, 4), 3.0);
+        // Padding slots remained untouched by pencil writes.
+        assert_eq!(a.as_slice()[5..8], [0.0; 3]);
     }
 }

@@ -43,6 +43,13 @@ impl Shape {
         Shape::new(self.nx + 2 * h, self.ny + 2 * h, self.nz + 2 * h)
     }
 
+    /// Length of one allocated `z`-row when rows are padded up to a multiple
+    /// of the SIMD lane width (see `tempest_stencil::simd::LANE`).
+    pub fn z_row_aligned(&self, lane: usize) -> usize {
+        assert!(lane > 0, "lane width must be non-zero");
+        self.nz.next_multiple_of(lane)
+    }
+
     /// Does `(x, y, z)` lie inside the grid?
     pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
         x < self.nx && y < self.ny && z < self.nz
@@ -170,6 +177,14 @@ mod tests {
         let s = Shape::cube(8);
         assert_eq!(s, Shape::new(8, 8, 8));
         assert_eq!(s.padded(2), Shape::new(12, 12, 12));
+    }
+
+    #[test]
+    fn z_row_aligned_rounds_up() {
+        let s = Shape::new(4, 4, 13);
+        assert_eq!(s.z_row_aligned(8), 16);
+        assert_eq!(s.z_row_aligned(1), 13);
+        assert_eq!(Shape::new(4, 4, 16).z_row_aligned(8), 16);
     }
 
     #[test]

@@ -42,6 +42,10 @@ use std::path::PathBuf;
 ///   executor scheduling units.
 /// * `SpaceSweeps` — per-virtual-timestep sweeps of the space-blocked
 ///   executor.
+/// * `PencilRows` — contiguous z-rows computed by the SIMD pencil kernels
+///   (`KernelPath::Pencil`); zero when a run uses the scalar per-point path.
+///   Deterministic for a given schedule and grid, independent of the thread
+///   policy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Counter {
@@ -54,10 +58,11 @@ pub enum Counter {
     WavefrontTiles,
     WavefrontDiagonals,
     SpaceSweeps,
+    PencilRows,
 }
 
 impl Counter {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
     pub const ALL: [Counter; Self::COUNT] = [
         Counter::StencilUpdates,
         Counter::SourceInjections,
@@ -68,6 +73,7 @@ impl Counter {
         Counter::WavefrontTiles,
         Counter::WavefrontDiagonals,
         Counter::SpaceSweeps,
+        Counter::PencilRows,
     ];
 
     pub fn name(self) -> &'static str {
@@ -81,6 +87,7 @@ impl Counter {
             Counter::WavefrontTiles => "wavefront_tiles",
             Counter::WavefrontDiagonals => "wavefront_diagonals",
             Counter::SpaceSweeps => "space_sweeps",
+            Counter::PencilRows => "pencil_rows",
         }
     }
 }

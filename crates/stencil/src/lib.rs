@@ -23,7 +23,9 @@ pub mod coeffs;
 pub mod descriptor;
 pub mod kernels;
 pub mod metrics;
+pub mod simd;
 
 pub use coeffs::{central_coeffs, fornberg_weights, staggered_coeffs};
 pub use descriptor::StencilDescriptor;
 pub use kernels::AxisWeights;
+pub use simd::{Lane, LANE};

@@ -15,7 +15,7 @@
 //! TEMPEST_PROFILE=1 cargo run --release --example autotune_demo --features obs
 //! ```
 
-use tempest::core::operator::{Schedule, SparseMode};
+use tempest::core::operator::{KernelPath, Schedule, SparseMode};
 use tempest::core::config::EquationKind;
 use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
 use tempest::grid::{Domain, Model, Shape};
@@ -75,6 +75,7 @@ fn main() {
                 schedule: schedule_of(c),
                 sparse: SparseMode::FusedCompressed,
                 policy: Policy::default(),
+                kernel: KernelPath::default(),
             };
             let (stats, profile, _) = solver.run_profiled(&exec);
             Measurement {
@@ -120,6 +121,7 @@ fn main() {
         schedule: schedule_of(&result.best),
         sparse: SparseMode::FusedCompressed,
         policy: Policy::default(),
+        kernel: KernelPath::default(),
     };
     let wtb = solver.run(&tuned_exec);
     println!(

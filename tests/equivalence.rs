@@ -6,7 +6,7 @@
 //! accumulation-order tolerance for traces.
 
 use tempest::core::config::EquationKind;
-use tempest::core::operator::{Schedule, SparseMode};
+use tempest::core::operator::{KernelPath, Schedule, SparseMode};
 use tempest::core::{Acoustic, Elastic, Execution, SimConfig, Tti, WaveSolver};
 use tempest::grid::{Array2, Domain, ElasticModel, Model, Shape, TtiModel};
 use tempest::sparse::SparsePoints;
@@ -29,6 +29,7 @@ fn wf(tile: usize, tt: usize, block: usize) -> Execution {
         },
         sparse: SparseMode::FusedCompressed,
         policy: tempest::par::Policy::Sequential,
+        kernel: KernelPath::default(),
     }
 }
 
@@ -203,6 +204,7 @@ fn tile_shape_never_changes_results() {
             },
             sparse: SparseMode::FusedCompressed,
             policy: tempest::par::Policy::Sequential,
+            kernel: KernelPath::default(),
         };
         s.run(&e);
         let f = s.final_field();

@@ -17,7 +17,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use tempest::core::config::EquationKind;
-use tempest::core::operator::{Schedule, SparseMode};
+use tempest::core::operator::{KernelPath, Schedule, SparseMode};
 use tempest::core::sources::{ReceiverBundle, SourceBundle};
 use tempest::core::{Acoustic, Elastic, Execution, SimConfig, Tti, WaveSolver};
 use tempest::grid::{Domain, ElasticModel, Model, Rng64, Shape, TtiModel};
@@ -129,6 +129,7 @@ fn check_schedule<F: FnMut(&Execution)>(
             schedule,
             sparse,
             policy,
+            kernel: KernelPath::default(),
         };
         obs::reset();
         run(&exec);
@@ -412,6 +413,7 @@ fn disabled_profiling_costs_no_more_than_enabled() {
         },
         sparse: SparseMode::FusedCompressed,
         policy: Policy::Sequential,
+        kernel: KernelPath::default(),
     };
     s.run(&exec); // warm-up
     let median = |on: bool, s: &mut Acoustic| {
