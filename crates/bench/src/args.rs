@@ -19,6 +19,9 @@ pub struct HarnessArgs {
     /// Emit per-phase profiles (rendered table + JSON under
     /// `target/profile/`). Needs the `obs` feature to record anything.
     pub profile: bool,
+    /// Capture event-level traces (Chrome trace JSON under
+    /// `results/trace/`). Needs the `obs` feature to record anything.
+    pub trace: bool,
     /// Dense-kernel path: scalar reference loops or pencil (lane) kernels.
     pub kernel: KernelPath,
 }
@@ -39,6 +42,7 @@ impl HarnessArgs {
             space_orders: vec![4, 8, 12],
             models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
             profile: false,
+            trace: false,
             kernel: KernelPath::default(),
         };
         let mut i = 1;
@@ -83,6 +87,10 @@ impl HarnessArgs {
                     a.profile = true;
                     tempest_obs::set_enabled(true);
                 }
+                "--trace" => {
+                    a.trace = true;
+                    tempest_obs::trace::set_enabled(true);
+                }
                 "--kernel" => {
                     i += 1;
                     a.kernel = match argv.get(i).map(String::as_str) {
@@ -97,6 +105,7 @@ impl HarnessArgs {
                          --so 4,8,12 (space orders) \
                          --model acoustic,tti,elastic --fast (smoke test) \
                          --profile (per-phase profile table + JSON) \
+                         --trace (event traces, Chrome JSON under results/trace/) \
                          --kernel scalar|pencil (dense-kernel path, default pencil)"
                     );
                     std::process::exit(0);
@@ -146,6 +155,16 @@ mod tests {
         let a = HarnessArgs::parse_from(&sv(&["--profile"]), 64, 8);
         assert!(a.profile);
         assert!(!HarnessArgs::parse_from(&sv(&[]), 64, 8).profile);
+    }
+
+    #[test]
+    fn trace_flag() {
+        let a = HarnessArgs::parse_from(&sv(&["--trace"]), 64, 8);
+        assert!(a.trace);
+        assert!(!a.profile);
+        assert!(!HarnessArgs::parse_from(&sv(&[]), 64, 8).trace);
+        // parsing --trace must not leave tracing on for other tests
+        tempest_obs::trace::set_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Perf-regression reporting pipeline: measure the model × schedule ×
+//! kernel matrix, fold profile + trace telemetry into `BENCH_<host>.json`,
+//! and optionally gate against a committed baseline.
+//!
+//! ```text
+//! cargo run -p tempest-bench --release --features obs --bin tempest-report -- \
+//!     [--size 64] [--nt 8] [--so 4] [--fast] [--model acoustic,tti,elastic] \
+//!     [--kernel scalar|pencil|both] [--repeats 2] [--out results] [--trace] \
+//!     [--baseline results/baseline.json] [--check-baseline] [--write-baseline] \
+//!     [--threshold 0.15]
+//! ```
+//!
+//! `--check-baseline` exits nonzero when any matrix entry's throughput falls
+//! more than `--threshold` (default 15%) below the committed baseline. A
+//! missing baseline or one measured at a different problem size skips the
+//! gate (soft pass) — regenerate with `--write-baseline` after intentional
+//! performance changes.
+
+use std::path::PathBuf;
+
+use tempest_bench::perf_report::{check_regressions, host_name, BenchReport};
+use tempest_bench::report::{f3, Table};
+use tempest_bench::{setup, sweep};
+use tempest_core::operator::KernelPath;
+use tempest_core::{Execution, WaveSolver};
+use tempest_obs as obs;
+
+struct ReportArgs {
+    size: usize,
+    nt: usize,
+    so: usize,
+    models: Vec<String>,
+    kernels: Vec<KernelPath>,
+    repeats: usize,
+    out: PathBuf,
+    trace: bool,
+    baseline: PathBuf,
+    check_baseline: bool,
+    write_baseline: bool,
+    threshold: f64,
+}
+
+fn parse_args() -> ReportArgs {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = ReportArgs {
+        size: 64,
+        nt: 8,
+        so: 4,
+        models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
+        kernels: vec![KernelPath::Pencil],
+        repeats: 2,
+        out: PathBuf::from("results"),
+        trace: false,
+        baseline: PathBuf::from("results").join("baseline.json"),
+        check_baseline: false,
+        write_baseline: false,
+        threshold: 0.15,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--size" => {
+                i += 1;
+                a.size = argv.get(i).and_then(|v| v.parse().ok()).expect("--size needs an integer");
+            }
+            "--nt" => {
+                i += 1;
+                a.nt = argv.get(i).and_then(|v| v.parse().ok()).expect("--nt needs an integer");
+            }
+            "--so" => {
+                i += 1;
+                a.so = argv.get(i).and_then(|v| v.parse().ok()).expect("--so needs an integer");
+            }
+            "--fast" => {
+                a.size = a.size.min(32);
+                a.repeats = 1;
+            }
+            "--model" => {
+                i += 1;
+                a.models = argv
+                    .get(i)
+                    .expect("--model needs a comma-separated list")
+                    .split(',')
+                    .map(String::from)
+                    .collect();
+            }
+            "--kernel" => {
+                i += 1;
+                a.kernels = match argv.get(i).map(String::as_str) {
+                    Some("scalar") => vec![KernelPath::Scalar],
+                    Some("pencil") => vec![KernelPath::Pencil],
+                    Some("both") => vec![KernelPath::Scalar, KernelPath::Pencil],
+                    other => panic!("--kernel needs 'scalar', 'pencil' or 'both', got {other:?}"),
+                };
+            }
+            "--repeats" => {
+                i += 1;
+                a.repeats = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--repeats needs a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                a.out = PathBuf::from(argv.get(i).expect("--out needs a directory"));
+            }
+            "--trace" => a.trace = true,
+            "--baseline" => {
+                i += 1;
+                a.baseline = PathBuf::from(argv.get(i).expect("--baseline needs a path"));
+            }
+            "--check-baseline" => a.check_baseline = true,
+            "--write-baseline" => a.write_baseline = true,
+            "--threshold" => {
+                i += 1;
+                a.threshold = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0 && t < 1.0)
+                    .expect("--threshold needs a fraction in (0, 1)");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --size N --nt N --so N --fast \
+                     --model acoustic,tti,elastic --kernel scalar|pencil|both \
+                     --repeats N --out DIR --trace \
+                     --baseline PATH --check-baseline --write-baseline --threshold F"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}; try --help"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn kernel_label(k: KernelPath) -> &'static str {
+    match k {
+        KernelPath::Scalar => "scalar",
+        KernelPath::Pencil => "pencil",
+    }
+}
+
+/// The measured schedules: tuned-shape defaults rather than a tuning sweep —
+/// the gate wants stable, comparable configurations, not the fastest ones.
+fn schedules() -> Vec<(&'static str, Execution)> {
+    vec![
+        ("spaceblocked", Execution::baseline()),
+        ("wavefront", Execution::wavefront_default()),
+        ("wavefront-diag", Execution::wavefront_diagonal_default()),
+    ]
+}
+
+fn build_solver(model: &str, size: usize, so: usize, nt: usize) -> Box<dyn WaveSolver> {
+    match model {
+        "acoustic" => Box::new(setup::acoustic(size, so, nt, 8)),
+        "tti" => Box::new(setup::tti(size, so, nt, 8)),
+        "elastic" => Box::new(setup::elastic(size, so, nt, 8)),
+        other => panic!("unknown model {other:?} (want acoustic, tti or elastic)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // The report is only useful with telemetry on; enabling is harmless
+    // (and a no-op) when the obs feature is compiled out.
+    obs::set_enabled(true);
+    obs::trace::set_enabled(true);
+
+    println!(
+        "tempest-report: grid {}^3, nt {}, so {}, threads {}, repeats {}",
+        args.size,
+        args.nt,
+        args.so,
+        tempest_par::available_threads(),
+        args.repeats
+    );
+    if !obs::enabled() {
+        println!("note: built without the `obs` feature — telemetry columns will be zero");
+    }
+
+    let mut table = Table::new(
+        "tempest-report — throughput and load-balance matrix",
+        &["model", "schedule", "kernel", "GPts/s", "barrier%", "imbalance", "critpath ms", "drops"],
+    );
+    let mut report = BenchReport {
+        host: host_name(),
+        threads: tempest_par::available_threads(),
+        size: args.size,
+        nt: args.nt,
+        entries: Vec::new(),
+    };
+
+    for model in &args.models {
+        let mut solver = build_solver(model, args.size, args.so, args.nt);
+        for (sched_name, exec) in schedules() {
+            for &kernel in &args.kernels {
+                let exec = sweep::with_kernel(exec, kernel);
+                let (entry, trace, meta) = BenchReport::measure_entry(
+                    solver.as_mut(),
+                    &exec,
+                    args.repeats,
+                    kernel_label(kernel),
+                );
+                println!(
+                    "  {model} {sched_name} {}: {:.3} GPts/s (barrier {:.1}%, imbalance {:.2}, {} trace events)",
+                    kernel_label(kernel),
+                    entry.gpts_per_s,
+                    100.0 * entry.barrier_wait_share,
+                    entry.worst_imbalance,
+                    trace.events.len(),
+                );
+                if args.trace && !trace.is_empty() {
+                    match trace.write_chrome_json(&meta) {
+                        Ok(p) => println!("    trace → {}", p.display()),
+                        Err(e) => eprintln!("    trace export failed: {e}"),
+                    }
+                }
+                table.row(&[
+                    entry.model.clone(),
+                    entry.schedule.clone(),
+                    entry.kernel.clone(),
+                    f3(entry.gpts_per_s),
+                    format!("{:.1}", 100.0 * entry.barrier_wait_share),
+                    format!("{:.2}", entry.worst_imbalance),
+                    format!("{:.3}", entry.critical_path_ms),
+                    entry.dropped_events.to_string(),
+                ]);
+                report.entries.push(entry);
+            }
+        }
+    }
+    table.print();
+
+    match report.write(&args.out) {
+        Ok(p) => println!("report → {}", p.display()),
+        Err(e) => {
+            eprintln!("cannot write report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if args.write_baseline {
+        if let Some(dir) = args.baseline.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&args.baseline, report.to_json()) {
+            Ok(()) => println!("baseline → {}", args.baseline.display()),
+            Err(e) => {
+                eprintln!("cannot write baseline: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.check_baseline {
+        let baseline = match BenchReport::read(&args.baseline) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("perf gate skipped: {e}");
+                return;
+            }
+        };
+        match check_regressions(&report, &baseline, args.threshold) {
+            Err(why) => println!("perf gate skipped: {why}"),
+            Ok(regs) if regs.is_empty() => {
+                println!(
+                    "perf gate passed: no entry more than {:.0}% below baseline ({})",
+                    100.0 * args.threshold,
+                    args.baseline.display()
+                );
+            }
+            Ok(regs) => {
+                eprintln!("perf gate FAILED — {} regression(s):", regs.len());
+                for r in &regs {
+                    eprintln!(
+                        "  {}: {:.3} → {:.3} GPts/s ({:.0}% of baseline)",
+                        r.key,
+                        r.baseline_gpts,
+                        r.current_gpts,
+                        100.0 * r.ratio
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

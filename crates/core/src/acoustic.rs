@@ -138,6 +138,7 @@ impl Acoustic {
 
     /// Compute timestep `k` (writing level `k + 2`) for `region`.
     fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
+        let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(k));
         match kernel {
             KernelPath::Scalar => match self.radius {
                 1 => self.step_r::<1>(k, region, mode),
@@ -315,6 +316,7 @@ impl Acoustic {
             return;
         }
         let sw = obs::start(obs::Phase::Sparse);
+        let mut sp = obs::trace::span(obs::trace::SpanKind::Sparse, obs::trace::SpanArgs::step(k));
         let mut injections = 0u64;
         let mut gathers = 0u64;
         match mode {
@@ -373,6 +375,11 @@ impl Acoustic {
                 }
                 SparseMode::Classic => unreachable!(),
             }
+        }
+        if injections + gathers == 0 {
+            // Most pencils have no sparse work; recording them would swamp
+            // the trace ring with empty spans.
+            sp.cancel();
         }
         obs::add(obs::Counter::SourceInjections, injections);
         obs::add(obs::Counter::ReceiverGathers, gathers);
@@ -485,6 +492,7 @@ impl Acoustic {
     /// sweeps of the space-blocked schedule.
     fn classic_after_step(&self, k: usize) {
         let sw = obs::start(obs::Phase::Sparse);
+        let _sp = obs::trace::span(obs::trace::SpanKind::Sparse, obs::trace::SpanArgs::step(k));
         let mut injections = 0u64;
         let mut gathers = 0u64;
         // Source injection into the freshly computed level k+2.

@@ -169,6 +169,7 @@ impl Elastic {
     /// Compute virtual step `vt` for `region`. Even `vt` = velocity phase of
     /// timestep `vt/2`; odd = stress phase.
     fn step_region(&self, vt: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
+        let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(vt));
         let t = vt >> 1;
         use KernelPath::{Pencil, Scalar};
         match (kernel, self.radius, vt & 1) {
@@ -557,6 +558,7 @@ impl Elastic {
     /// Classic per-timestep sparse operators (space-blocked baseline only).
     fn classic_after_step(&self, t: usize) {
         let sw = obs::start(obs::Phase::Sparse);
+        let _sp = obs::trace::span(obs::trace::SpanKind::Sparse, obs::trace::SpanArgs::step(t));
         let mut injections = 0u64;
         let mut gathers = 0u64;
         for (st, &a) in self.src.stencils.iter().zip(self.src.amps_at(t)) {

@@ -305,9 +305,25 @@ pub trait WaveSolver {
     /// feature off (or `TEMPEST_PROFILE` unset) the profile is empty and the
     /// run costs the same as [`run`](Self::run).
     fn run_profiled(&mut self, exec: &Execution) -> (RunStats, obs::Profile, obs::RunMeta) {
+        let (stats, profile, _trace, meta) = self.run_traced(exec);
+        (stats, profile, meta)
+    }
+
+    /// Like [`run_profiled`](Self::run_profiled), additionally returning the
+    /// event-level [`obs::trace::Trace`] of the run (empty unless the `obs`
+    /// feature is compiled in *and* tracing is on via `TEMPEST_TRACE` /
+    /// `obs::trace::set_enabled`). Both telemetry layers are reset before
+    /// the run, so the returned profile/trace cover exactly this run.
+    #[allow(clippy::type_complexity)]
+    fn run_traced(
+        &mut self,
+        exec: &Execution,
+    ) -> (RunStats, obs::Profile, obs::trace::Trace, obs::RunMeta) {
         obs::reset();
+        obs::trace::reset();
         let stats = self.run(exec);
         let profile = obs::snapshot();
+        let trace = obs::trace::snapshot();
         let meta = obs::RunMeta::new(
             &format!("{}-so{}", self.name(), self.space_order()),
             &exec.schedule_label(),
@@ -315,7 +331,7 @@ pub trait WaveSolver {
             stats.grid_points as u64,
             stats.elapsed.as_secs_f64(),
         );
-        (stats, profile, meta)
+        (stats, profile, trace, meta)
     }
 
     /// Snapshot of the representative final wavefield (pressure for

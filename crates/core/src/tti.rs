@@ -168,6 +168,7 @@ impl Tti {
     }
 
     fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
+        let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(k));
         match (kernel, self.radius) {
             (KernelPath::Scalar, 2) => self.step_r::<2>(k, region, mode),
             (KernelPath::Scalar, 4) => self.step_r::<4>(k, region, mode),
@@ -374,6 +375,7 @@ impl Tti {
             return;
         }
         let sw = obs::start(obs::Phase::Sparse);
+        let mut sp = obs::trace::span(obs::trace::SpanKind::Sparse, obs::trace::SpanArgs::step(k));
         let mut injections = 0u64;
         let mut gathers = 0u64;
         match mode {
@@ -416,6 +418,9 @@ impl Tti {
                 }
             }
         }
+        if injections + gathers == 0 {
+            sp.cancel();
+        }
         obs::add(obs::Counter::SourceInjections, injections);
         obs::add(obs::Counter::ReceiverGathers, gathers);
         sw.stop();
@@ -424,6 +429,7 @@ impl Tti {
     /// Classic per-timestep sparse operators (space-blocked baseline only).
     fn classic_after_step(&self, k: usize) {
         let sw = obs::start(obs::Phase::Sparse);
+        let _sp = obs::trace::span(obs::trace::SpanKind::Sparse, obs::trace::SpanArgs::step(k));
         let mut injections = 0u64;
         let mut gathers = 0u64;
         for (st, &a) in self.src.stencils.iter().zip(self.src.amps_at(k)) {

@@ -21,6 +21,10 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub mod analysis;
+pub mod json;
+pub mod trace;
+
 // ---------------------------------------------------------------------------
 // Counter / Phase taxonomies
 // ---------------------------------------------------------------------------
@@ -371,12 +375,14 @@ impl RunMeta {
         }
     }
 
-    /// Giga grid-point updates per second over the whole run.
+    /// Giga grid-point updates per second over the whole run. Guarded so a
+    /// zero/negative/non-finite elapsed time yields 0.0, never NaN or inf —
+    /// this value flows straight into serialised reports.
     pub fn gpts_per_s(&self) -> f64 {
-        if self.elapsed_s <= 0.0 {
+        if !self.elapsed_s.is_finite() || self.elapsed_s <= 0.0 {
             0.0
         } else {
-            self.grid_points as f64 * self.nt as f64 / self.elapsed_s / 1e9
+            fin(self.grid_points as f64 * self.nt as f64 / self.elapsed_s / 1e9)
         }
     }
 }
@@ -484,9 +490,9 @@ impl Profile {
         let _ = writeln!(s, "  \"schedule\": \"{}\",", escape(&meta.schedule));
         let _ = writeln!(s, "  \"nt\": {},", meta.nt);
         let _ = writeln!(s, "  \"grid_points\": {},", meta.grid_points);
-        let _ = writeln!(s, "  \"elapsed_s\": {:.9},", meta.elapsed_s);
-        let _ = writeln!(s, "  \"gpts_per_s\": {:.6},", meta.gpts_per_s());
-        let _ = writeln!(s, "  \"barrier_wait_share\": {:.6},", self.barrier_wait_share());
+        let _ = writeln!(s, "  \"elapsed_s\": {:.9},", fin(meta.elapsed_s));
+        let _ = writeln!(s, "  \"gpts_per_s\": {:.6},", fin(meta.gpts_per_s()));
+        let _ = writeln!(s, "  \"barrier_wait_share\": {:.6},", fin(self.barrier_wait_share()));
 
         s.push_str("  \"counters\": {");
         for (i, c) in Counter::ALL.iter().enumerate() {
@@ -537,23 +543,58 @@ impl Profile {
     /// Write the JSON report to `target/profile/{name}__{schedule}.json`
     /// (honouring `CARGO_TARGET_DIR`), creating directories as needed. The
     /// schedule is part of the stem so profiles of different schedules on
-    /// the same solver do not overwrite each other. Returns the path.
+    /// the same solver do not overwrite each other; both labels are passed
+    /// through [`sanitize_label`], so separator runs collapse to one `_`.
+    /// Returns the path.
     pub fn write_json(&self, meta: &RunMeta) -> std::io::Result<PathBuf> {
         let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
         let dir = PathBuf::from(target).join("profile");
         std::fs::create_dir_all(&dir)?;
-        let raw = if meta.schedule.is_empty() {
-            meta.name.clone()
+        let stem = if meta.schedule.is_empty() {
+            sanitize_label(&meta.name)
         } else {
-            format!("{}__{}", meta.name, meta.schedule)
+            format!("{}__{}", sanitize_label(&meta.name), sanitize_label(&meta.schedule))
         };
-        let stem: String = raw
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-            .collect();
         let path = dir.join(format!("{stem}.json"));
         std::fs::write(&path, self.to_json(meta))?;
         Ok(path)
+    }
+}
+
+/// Turn a free-form label (solver name, schedule description) into a
+/// filename-safe stem: ASCII alphanumerics and `-` pass through, every run
+/// of anything else collapses to a single `_`, with no leading/trailing
+/// separator. `"wavefront-diag 32x32 t4 / 8x8"` becomes
+/// `"wavefront-diag_32x32_t4_8x8"` — one canonical separator, so writers
+/// joining name and schedule with `__` produce unambiguous stems.
+pub fn sanitize_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_sep = false;
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '-' {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c);
+        } else {
+            pending_sep = true;
+        }
+    }
+    if out.is_empty() {
+        "unnamed".to_string()
+    } else {
+        out
+    }
+}
+
+/// Clamp a float to a finite value for serialisation: NaN and ±inf become
+/// 0.0 so hand-rolled JSON writers can never emit tokens a parser rejects.
+pub(crate) fn fin(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
     }
 }
 
@@ -667,6 +708,38 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn sanitize_collapses_separator_runs() {
+        assert_eq!(
+            sanitize_label("wavefront-diag 32x32 t4 / 8x8"),
+            "wavefront-diag_32x32_t4_8x8"
+        );
+        assert_eq!(sanitize_label("spaceblocked 8x8"), "spaceblocked_8x8");
+        assert_eq!(sanitize_label("  lead/trail  "), "lead_trail");
+        assert_eq!(sanitize_label("a__b"), "a_b");
+        assert_eq!(sanitize_label("///"), "unnamed");
+        assert_eq!(sanitize_label("acoustic-so4"), "acoustic-so4");
+    }
+
+    #[test]
+    fn gpts_never_nan_or_inf() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let m = RunMeta::new("x", "s", 10, 1_000_000, bad);
+            assert_eq!(m.gpts_per_s(), 0.0, "elapsed_s = {bad}");
+        }
+    }
+
+    #[test]
+    fn json_has_no_nonfinite_tokens_for_degenerate_meta() {
+        let p = Profile::default();
+        for bad in [0.0, f64::NAN, f64::INFINITY] {
+            let meta = RunMeta::new("x", "s", 0, 0, bad);
+            let js = p.to_json(&meta);
+            assert!(!js.contains("NaN") && !js.contains("inf"), "bad JSON: {js}");
+            assert!(json::Value::parse(&js).is_ok(), "unparseable: {js}");
+        }
     }
 
     #[cfg(not(feature = "enabled"))]

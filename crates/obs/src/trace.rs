@@ -1,0 +1,752 @@
+//! Event-level span tracing: who ran which tile, when, on which thread.
+//!
+//! The aggregate counters in the crate root say *how much* work a run did;
+//! this module records *when* each unit ran so diagonal load imbalance,
+//! barrier convoys, and wavefront pipeline fill/drain become visible. The
+//! design mirrors the counter layer (DESIGN.md §9 / §11):
+//!
+//! 1. **Compile-time gate** — without the `enabled` feature, [`span`] is an
+//!    `#[inline(always)]` no-op returning a zero-sized guard, so call sites
+//!    vanish from release builds.
+//! 2. **Run-time gate** — with the feature, recording stays off unless
+//!    `TEMPEST_TRACE` is set (or [`set_enabled`] was called). The gate is
+//!    independent of the profiling gate: counters can run without paying for
+//!    event capture.
+//!
+//! Each thread owns a bounded event buffer (default [`DEFAULT_CAPACITY`]
+//! events, override with `TEMPEST_TRACE_CAP` or [`set_capacity`]). On
+//! overflow the newest event is dropped and a relaxed atomic drop counter is
+//! bumped — earlier events are never overwritten, so a truncated trace is
+//! still a faithful prefix. [`snapshot`] folds every thread's buffer into a
+//! [`Trace`], which exports Chrome trace-event JSON loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::{escape, sanitize_label, RunMeta};
+
+/// Default per-thread event capacity (events, not bytes). Sized so the
+/// repo's standard example runs (128³ wavefront with per-region stencil
+/// spans) fit with headroom; a 64³×8 tiled run uses a few thousand.
+pub const DEFAULT_CAPACITY: usize = 262_144;
+
+// ---------------------------------------------------------------------------
+// Event vocabulary (always compiled)
+// ---------------------------------------------------------------------------
+
+/// What a span measures. `Tile` is one space-time tile of the
+/// diagonal-parallel executor; `Slab` one (vt, tile) slab of the slab-ordered
+/// executor; `Sweep` one virtual timestep of the space-blocked path;
+/// `Diagonal` the coordinator-side span of one anti-diagonal batch;
+/// `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
+/// `run_batch` caller's wait for workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum SpanKind {
+    Tile = 0,
+    Slab,
+    Sweep,
+    Diagonal,
+    Stencil,
+    Sparse,
+    BarrierWait,
+}
+
+impl SpanKind {
+    pub const COUNT: usize = 7;
+    pub const ALL: [SpanKind; Self::COUNT] = [
+        SpanKind::Tile,
+        SpanKind::Slab,
+        SpanKind::Sweep,
+        SpanKind::Diagonal,
+        SpanKind::Stencil,
+        SpanKind::Sparse,
+        SpanKind::BarrierWait,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Tile => "tile",
+            SpanKind::Slab => "slab",
+            SpanKind::Sweep => "sweep",
+            SpanKind::Diagonal => "diagonal",
+            SpanKind::Stencil => "stencil",
+            SpanKind::Sparse => "sparse",
+            SpanKind::BarrierWait => "barrier_wait",
+        }
+    }
+}
+
+/// Structured span arguments; `-1` encodes "not applicable" and is omitted
+/// from the exported JSON. Kept `Copy` and fixed-size so recording never
+/// allocates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanArgs {
+    /// Anti-diagonal index `tx + ty` (tile/diagonal spans).
+    pub diagonal: i32,
+    /// Tile index along x.
+    pub tx: i32,
+    /// Tile index along y.
+    pub ty: i32,
+    /// First virtual timestep covered (inclusive).
+    pub t0: i32,
+    /// Last virtual timestep covered (exclusive).
+    pub t1: i32,
+    /// Single virtual timestep (slab/sweep/stencil/sparse spans).
+    pub vt: i32,
+}
+
+impl Default for SpanArgs {
+    fn default() -> Self {
+        SpanArgs {
+            diagonal: -1,
+            tx: -1,
+            ty: -1,
+            t0: -1,
+            t1: -1,
+            vt: -1,
+        }
+    }
+}
+
+impl SpanArgs {
+    /// No arguments (barrier waits).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// One space-time tile of the diagonal-parallel executor.
+    pub fn tile(diagonal: usize, tx: usize, ty: usize, t0: usize, t1: usize) -> Self {
+        SpanArgs {
+            diagonal: diagonal as i32,
+            tx: tx as i32,
+            ty: ty as i32,
+            t0: t0 as i32,
+            t1: t1 as i32,
+            vt: -1,
+        }
+    }
+
+    /// One slab of the slab-ordered executor: tile coordinates plus the
+    /// single virtual timestep the slab advances.
+    pub fn slab(diagonal: usize, tx: usize, ty: usize, vt: usize) -> Self {
+        SpanArgs {
+            diagonal: diagonal as i32,
+            tx: tx as i32,
+            ty: ty as i32,
+            t0: -1,
+            t1: -1,
+            vt: vt as i32,
+        }
+    }
+
+    /// A per-virtual-timestep span (space-blocked sweep, stencil region
+    /// update, sparse phase).
+    pub fn step(vt: usize) -> Self {
+        SpanArgs {
+            vt: vt as i32,
+            ..Self::default()
+        }
+    }
+
+    /// The coordinator-side span of one anti-diagonal batch.
+    pub fn diag(diagonal: usize, t0: usize, t1: usize) -> Self {
+        SpanArgs {
+            diagonal: diagonal as i32,
+            t0: t0 as i32,
+            t1: t1 as i32,
+            ..Self::default()
+        }
+    }
+}
+
+/// One recorded span: 40 bytes, `Copy`, no heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Registration-order thread id (stable within a process run).
+    pub tid: u32,
+    pub kind: SpanKind,
+    /// Start, nanoseconds since the process trace epoch.
+    pub t0_ns: u64,
+    pub dur_ns: u64,
+    pub args: SpanArgs,
+}
+
+impl TraceEvent {
+    /// End of the span, nanoseconds since the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.t0_ns + self.dur_ns
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording — real implementation (feature = "enabled")
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{SpanArgs, SpanKind, Trace, TraceEvent, DEFAULT_CAPACITY};
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, Once, OnceLock};
+    use std::time::Instant;
+
+    struct Ring {
+        tid: u32,
+        label: String,
+        // Only the owning thread pushes; snapshot/reset lock briefly from
+        // the aggregating thread, so this mutex is uncontended on the hot
+        // path.
+        events: Mutex<Vec<TraceEvent>>,
+        dropped: AtomicU64,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static ENV_INIT: Once = Once::new();
+    /// 0 = "resolve from TEMPEST_TRACE_CAP on first use".
+    static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+
+    thread_local! {
+        static RING: Arc<Ring> = register_ring();
+    }
+
+    fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn register_ring() -> Arc<Ring> {
+        let cur = std::thread::current();
+        let label = cur
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{:?}", cur.id()));
+        let ring = Arc::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            label,
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        });
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        ring
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Is event capture on? First call resolves `TEMPEST_TRACE` (any value
+    /// other than empty or `0` enables); after that it is one relaxed load.
+    #[inline]
+    pub fn enabled() -> bool {
+        ENV_INIT.call_once(|| {
+            let on = std::env::var("TEMPEST_TRACE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            if on {
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        });
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Programmatic override of the `TEMPEST_TRACE` gate.
+    pub fn set_enabled(on: bool) {
+        let _ = enabled(); // settle env init so it cannot overwrite us
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Per-thread event capacity currently in effect. First use resolves
+    /// `TEMPEST_TRACE_CAP`, falling back to [`DEFAULT_CAPACITY`].
+    pub fn capacity() -> usize {
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        if cap != 0 {
+            return cap;
+        }
+        let resolved = std::env::var("TEMPEST_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        CAPACITY.store(resolved, Ordering::Relaxed);
+        resolved
+    }
+
+    /// Override the per-thread capacity (applies to subsequent recording on
+    /// every thread; existing events are kept). Mainly for tests.
+    pub fn set_capacity(cap: usize) {
+        CAPACITY.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Open a span. The event is recorded on this thread's ring when the
+    /// guard drops (or [`Span::stop`] runs), unless cancelled.
+    #[inline]
+    pub fn span(kind: SpanKind, args: SpanArgs) -> Span {
+        if !enabled() {
+            return Span(None);
+        }
+        let t0 = epoch().elapsed().as_nanos() as u64;
+        Span(Some((kind, args, t0)))
+    }
+
+    pub struct Span(Option<(SpanKind, SpanArgs, u64)>);
+
+    impl Span {
+        /// Explicit stop; equivalent to dropping the guard.
+        #[inline]
+        pub fn stop(self) {}
+
+        /// Discard the span without recording it (e.g. a sparse phase that
+        /// turned out to have no work — keeps trace volume proportional to
+        /// actual events).
+        #[inline]
+        pub fn cancel(&mut self) {
+            self.0 = None;
+        }
+    }
+
+    impl Drop for Span {
+        #[inline]
+        fn drop(&mut self) {
+            if let Some((kind, args, t0)) = self.0.take() {
+                let now = epoch().elapsed().as_nanos() as u64;
+                let ev = TraceEvent {
+                    tid: 0, // filled per-ring below
+                    kind,
+                    t0_ns: t0,
+                    dur_ns: now.saturating_sub(t0),
+                    args,
+                };
+                let cap = capacity();
+                RING.with(|r| {
+                    let mut evs = r.events.lock().unwrap_or_else(|e| e.into_inner());
+                    if evs.len() >= cap {
+                        r.dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        evs.push(TraceEvent { tid: r.tid, ..ev });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Clear every ring and drop counter (buffers keep their allocation).
+    pub fn reset() {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        for ring in reg.iter() {
+            ring.events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            ring.dropped.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold every thread's ring into a [`Trace`]. Rings that recorded
+    /// nothing are skipped; events are sorted by (thread, start time).
+    pub fn snapshot() -> Trace {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        let mut threads = Vec::new();
+        let mut dropped = 0u64;
+        for ring in reg.iter() {
+            let evs = ring.events.lock().unwrap_or_else(|e| e.into_inner());
+            let d = ring.dropped.load(Ordering::Relaxed);
+            dropped += d;
+            if evs.is_empty() && d == 0 {
+                continue;
+            }
+            threads.push((ring.tid, ring.label.clone()));
+            events.extend_from_slice(&evs);
+        }
+        events.sort_by_key(|e| (e.tid, e.t0_ns, std::cmp::Reverse(e.end_ns())));
+        threads.sort_by_key(|&(tid, _)| tid);
+        Trace {
+            events,
+            threads,
+            dropped,
+            capacity: capacity(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording — no-op implementation (feature off)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{SpanArgs, SpanKind, Trace, DEFAULT_CAPACITY};
+
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    #[inline(always)]
+    pub fn capacity() -> usize {
+        DEFAULT_CAPACITY
+    }
+
+    #[inline(always)]
+    pub fn set_capacity(_cap: usize) {}
+
+    pub struct Span;
+
+    impl Span {
+        #[inline(always)]
+        pub fn stop(self) {}
+
+        #[inline(always)]
+        pub fn cancel(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub fn span(_kind: SpanKind, _args: SpanArgs) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn snapshot() -> Trace {
+        Trace::default()
+    }
+}
+
+pub use imp::{capacity, enabled, reset, set_capacity, set_enabled, snapshot, span, Span};
+
+// ---------------------------------------------------------------------------
+// Aggregated trace + Chrome trace-event export (always compiled)
+// ---------------------------------------------------------------------------
+
+/// Aggregated view of every thread's event ring, produced by [`snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All recorded spans, sorted by (tid, start).
+    pub events: Vec<TraceEvent>,
+    /// `(tid, thread label)` for every thread that recorded events.
+    pub threads: Vec<(u32, String)>,
+    /// Spans discarded because a ring was full.
+    pub dropped: u64,
+    /// Per-thread capacity that was in effect at snapshot time.
+    pub capacity: usize,
+}
+
+impl Trace {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of spans of one kind.
+    pub fn count(&self, kind: SpanKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Iterate over spans of one kind.
+    pub fn events_of(&self, kind: SpanKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Chrome trace-event JSON (the "JSON Array Format" with complete `X`
+    /// events plus thread-name metadata), loadable in Perfetto or
+    /// `chrome://tracing`. Timestamps are microseconds with nanosecond
+    /// resolution kept in the fraction.
+    pub fn to_chrome_json(&self, meta: &RunMeta) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"displayTimeUnit\": \"ms\",");
+        s.push_str("  \"otherData\": {");
+        let _ = write!(
+            s,
+            "\"name\": \"{}\", \"schedule\": \"{}\", \"nt\": {}, \"dropped\": {}, \"capacity\": {}",
+            escape(&meta.name),
+            escape(&meta.schedule),
+            meta.nt,
+            self.dropped,
+            self.capacity
+        );
+        s.push_str("},\n");
+        s.push_str("  \"traceEvents\": [\n");
+        let mut first = true;
+        for (tid, label) in &self.threads {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                tid,
+                escape(label)
+            );
+        }
+        for ev in &self.events {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"cat\": \"tempest\", \"ph\": \"X\", \"pid\": 1, \
+                 \"tid\": {}, \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"args\": {{",
+                ev.kind.name(),
+                ev.tid,
+                ev.t0_ns / 1_000,
+                ev.t0_ns % 1_000,
+                ev.dur_ns / 1_000,
+                ev.dur_ns % 1_000,
+            );
+            let mut first_arg = true;
+            for (key, v) in [
+                ("diagonal", ev.args.diagonal),
+                ("tx", ev.args.tx),
+                ("ty", ev.args.ty),
+                ("t0", ev.args.t0),
+                ("t1", ev.args.t1),
+                ("vt", ev.args.vt),
+            ] {
+                if v < 0 {
+                    continue;
+                }
+                if !first_arg {
+                    s.push_str(", ");
+                }
+                first_arg = false;
+                let _ = write!(s, "\"{key}\": {v}");
+            }
+            s.push_str("}}");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Write the Chrome trace to `<dir>/<name>__<schedule>.trace.json`
+    /// with sanitized labels, creating directories as needed.
+    pub fn write_chrome_json_in(&self, dir: &Path, meta: &RunMeta) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let stem = if meta.schedule.is_empty() {
+            sanitize_label(&meta.name)
+        } else {
+            format!(
+                "{}__{}",
+                sanitize_label(&meta.name),
+                sanitize_label(&meta.schedule)
+            )
+        };
+        let path = dir.join(format!("{stem}.trace.json"));
+        std::fs::write(&path, self.to_chrome_json(meta))?;
+        Ok(path)
+    }
+
+    /// Write the Chrome trace under the standard trace directory:
+    /// `TEMPEST_TRACE_DIR` if set, else `results/trace/`.
+    pub fn write_chrome_json(&self, meta: &RunMeta) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("TEMPEST_TRACE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results").join("trace"));
+        self.write_chrome_json_in(&dir, meta)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, kind: SpanKind, t0: u64, dur: u64, args: SpanArgs) -> TraceEvent {
+        TraceEvent {
+            tid,
+            kind,
+            t0_ns: t0,
+            dur_ns: dur,
+            args,
+        }
+    }
+
+    fn sample_trace() -> (Trace, RunMeta) {
+        let trace = Trace {
+            events: vec![
+                ev(0, SpanKind::Diagonal, 0, 5_000, SpanArgs::diag(0, 0, 4)),
+                ev(0, SpanKind::Tile, 100, 4_000, SpanArgs::tile(0, 0, 0, 0, 4)),
+                ev(1, SpanKind::Tile, 200, 3_000, SpanArgs::tile(1, 1, 0, 0, 4)),
+                ev(1, SpanKind::BarrierWait, 4_000, 500, SpanArgs::none()),
+            ],
+            threads: vec![(0, "main".into()), (1, "tempest-par-0".into())],
+            dropped: 0,
+            capacity: DEFAULT_CAPACITY,
+        };
+        let meta = RunMeta::new("unit-test", "wavefront-diag 32x32 t4 / 8x8", 8, 64, 0.001);
+        (trace, meta)
+    }
+
+    #[test]
+    fn counts_and_filters() {
+        let (t, _) = sample_trace();
+        assert_eq!(t.count(SpanKind::Tile), 2);
+        assert_eq!(t.count(SpanKind::Sweep), 0);
+        assert_eq!(t.events_of(SpanKind::BarrierWait).count(), 1);
+        assert!(!t.is_empty());
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let (t, meta) = sample_trace();
+        let js = t.to_chrome_json(&meta);
+        let v = crate::json::Value::parse(&js).expect("chrome trace must be valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread-name metadata records + 4 spans
+        assert_eq!(evs.len(), 6);
+        let meta_evs: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta_evs.len(), 2);
+        let tile = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("tile"))
+            .unwrap();
+        assert_eq!(tile.get("args").unwrap().get("diagonal").unwrap().as_i64(), Some(0));
+        assert_eq!(tile.get("args").unwrap().get("tx").unwrap().as_i64(), Some(0));
+        // ts is µs with ns fraction: 100ns → 0.100
+        assert!((tile.get("ts").unwrap().as_f64().unwrap() - 0.1).abs() < 1e-9);
+        assert!((tile.get("dur").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-9);
+        // barrier span has no args
+        let bw = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("barrier_wait"))
+            .unwrap();
+        assert_eq!(bw.get("args").unwrap().as_obj().map(<[_]>::len), Some(0));
+        assert_eq!(v.get("otherData").unwrap().get("dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn empty_trace_exports_valid_json() {
+        let js = Trace::default().to_chrome_json(&RunMeta::default());
+        let v = crate::json::Value::parse(&js).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn write_sanitizes_stem() {
+        let (t, meta) = sample_trace();
+        let dir = std::env::temp_dir().join("tempest-obs-trace-test");
+        let path = t.write_chrome_json_in(&dir, &meta).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "unit-test__wavefront-diag_32x32_t4_8x8.trace.json"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(crate::json::Value::parse(&body).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        set_enabled(true);
+        assert!(!enabled());
+        let mut sp = span(SpanKind::Tile, SpanArgs::tile(0, 0, 0, 0, 1));
+        sp.cancel();
+        span(SpanKind::Stencil, SpanArgs::step(0)).stop();
+        assert!(snapshot().is_empty());
+    }
+
+    /// Recording tests share global ring state, so they serialise on a lock
+    /// and reset before each scenario.
+    #[cfg(feature = "enabled")]
+    mod recording {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        static LOCK: Mutex<()> = Mutex::new(());
+
+        fn guard() -> std::sync::MutexGuard<'static, ()> {
+            LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn records_spans_with_args_and_resets() {
+            let _g = guard();
+            set_enabled(true);
+            reset();
+            {
+                let _sp = span(SpanKind::Tile, SpanArgs::tile(3, 1, 2, 0, 4));
+                span(SpanKind::Stencil, SpanArgs::step(2)).stop();
+            }
+            let t = snapshot();
+            assert_eq!(t.count(SpanKind::Tile), 1);
+            assert_eq!(t.count(SpanKind::Stencil), 1);
+            let tile = t.events_of(SpanKind::Tile).next().unwrap();
+            assert_eq!(tile.args.diagonal, 3);
+            assert_eq!(tile.args.tx, 1);
+            assert_eq!(tile.args.ty, 2);
+            // the stencil span opened inside the tile span nests within it
+            let st = t.events_of(SpanKind::Stencil).next().unwrap();
+            assert!(st.t0_ns >= tile.t0_ns && st.end_ns() <= tile.end_ns());
+            reset();
+            assert!(snapshot().is_empty());
+            set_enabled(false);
+        }
+
+        #[test]
+        fn cancel_discards_the_span() {
+            let _g = guard();
+            set_enabled(true);
+            reset();
+            let mut sp = span(SpanKind::Sparse, SpanArgs::step(0));
+            sp.cancel();
+            drop(sp);
+            assert_eq!(snapshot().count(SpanKind::Sparse), 0);
+            set_enabled(false);
+        }
+
+        #[test]
+        fn overflow_drops_newest_and_counts() {
+            let _g = guard();
+            let prior = capacity();
+            set_enabled(true);
+            reset();
+            set_capacity(8);
+            for i in 0..20usize {
+                span(SpanKind::Sweep, SpanArgs::step(i)).stop();
+            }
+            let t = snapshot();
+            let mine: Vec<_> = t.events_of(SpanKind::Sweep).collect();
+            assert_eq!(mine.len(), 8, "ring holds exactly its capacity");
+            // earliest events survive untouched, in order
+            for (i, e) in mine.iter().enumerate() {
+                assert_eq!(e.args.vt, i as i32);
+            }
+            assert_eq!(t.dropped, 12);
+            // drops clear on reset
+            set_capacity(prior);
+            reset();
+            assert_eq!(snapshot().dropped, 0);
+            set_enabled(false);
+        }
+
+        #[test]
+        fn runtime_gate_off_records_nothing() {
+            let _g = guard();
+            set_enabled(false);
+            reset();
+            span(SpanKind::Tile, SpanArgs::tile(0, 0, 0, 0, 1)).stop();
+            assert!(snapshot().is_empty());
+        }
+    }
+}

@@ -230,6 +230,7 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     // The caller works too — and afterwards waits for stragglers.
     job.help();
     let wait = obs::start(obs::Phase::BarrierWait);
+    let wait_sp = obs::trace::span(obs::trace::SpanKind::BarrierWait, obs::trace::SpanArgs::none());
     let mut fin = job.finished.lock().unwrap();
     while !*fin {
         // The final `help` return races the last worker's notify; the
@@ -244,6 +245,7 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
         }
     }
     drop(fin);
+    wait_sp.stop();
     wait.stop();
 }
 

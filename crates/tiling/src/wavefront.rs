@@ -200,12 +200,22 @@ pub fn execute<S>(shape: Shape, nvt: usize, spec: &WavefrontSpec, policy: Policy
 where
     S: Fn(usize, &Range3) + Sync + Send,
 {
-    for_each_slab(shape, nvt, spec, |slab| {
-        let sw = obs::start(obs::Phase::Slab);
-        let blocks = slab.range.split_xy(spec.block_x, spec.block_y);
-        tempest_par::for_each(policy, &blocks, |b| step(slab.vt, b));
-        obs::add(obs::Counter::WavefrontSlabs, 1);
-        sw.stop();
+    // Same slab order as `for_each_slab`, unrolled one level so each slab's
+    // trace span can carry its tile coordinates.
+    for_each_tile(shape, nvt, spec, |tile| {
+        for vt in tile.t0..tile.t1 {
+            if let Some(slab) = tile_slab(shape, spec, tile, vt) {
+                let sw = obs::start(obs::Phase::Slab);
+                let _sp = obs::trace::span(
+                    obs::trace::SpanKind::Slab,
+                    obs::trace::SpanArgs::slab(tile.diagonal(), tile.xt, tile.yt, vt),
+                );
+                let blocks = slab.range.split_xy(spec.block_x, spec.block_y);
+                tempest_par::for_each(policy, &blocks, |b| step(slab.vt, b));
+                obs::add(obs::Counter::WavefrontSlabs, 1);
+                sw.stop();
+            }
+        }
     });
 }
 
@@ -255,11 +265,20 @@ where
     let mut t0 = 0usize;
     while t0 < nvt {
         let t1 = (t0 + spec.tile_t).min(nvt);
-        for tiles in diagonals(shape, spec, t0, t1) {
+        for (d, tiles) in diagonals(shape, spec, t0, t1).into_iter().enumerate() {
             let sw = obs::start(obs::Phase::Diagonal);
+            let _dsp = obs::trace::span(
+                obs::trace::SpanKind::Diagonal,
+                obs::trace::SpanArgs::diag(d, t0, t1),
+            );
             // `for_each` blocks until every tile completes: the barrier
-            // between diagonals.
+            // between diagonals. The per-tile span runs on whichever worker
+            // claimed the tile, so the trace shows the real thread placement.
             tempest_par::for_each(policy, &tiles, |tile| {
+                let _sp = obs::trace::span(
+                    obs::trace::SpanKind::Tile,
+                    obs::trace::SpanArgs::tile(tile.diagonal(), tile.xt, tile.yt, tile.t0, tile.t1),
+                );
                 for vt in tile.t0..tile.t1 {
                     if let Some(slab) = tile_slab(shape, spec, tile, vt) {
                         for b in slab.range.split_xy(spec.block_x, spec.block_y) {

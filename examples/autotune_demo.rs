@@ -14,6 +14,10 @@
 //! ```text
 //! TEMPEST_PROFILE=1 cargo run --release --example autotune_demo --features obs
 //! ```
+//!
+//! Add `--trace` (or `TEMPEST_TRACE=1`) to trace the final tuned run: the
+//! per-diagonal load-imbalance summary prints next to the comparison and
+//! the Chrome trace JSON lands under `results/trace/`.
 
 use tempest::core::operator::{KernelPath, Schedule, SparseMode};
 use tempest::core::config::EquationKind;
@@ -48,6 +52,9 @@ fn schedule_of(c: &Candidate) -> Schedule {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        tempest::obs::trace::set_enabled(true);
+    }
     let n = 128;
     let nt = 16;
     let domain = Domain::uniform(Shape::cube(n), 10.0);
@@ -123,11 +130,21 @@ fn main() {
         policy: Policy::default(),
         kernel: KernelPath::default(),
     };
-    let wtb = solver.run(&tuned_exec);
+    let (wtb, _profile, trace, meta) = solver.run_traced(&tuned_exec);
     println!(
         "\nbaseline {:.3} GPts/s → tuned WTB {:.3} GPts/s ({:.2}x)",
         base.gpoints_per_s,
         wtb.gpoints_per_s,
         wtb.gpoints_per_s / base.gpoints_per_s
     );
+
+    // With tracing on, show how well the tuned schedule balances its
+    // diagonals — the signal behind the barrier-share tie-breaker above.
+    if !trace.is_empty() {
+        println!("\n{}", tempest::obs::analysis::TraceAnalysis::from_trace(&trace).render());
+        match trace.write_chrome_json(&meta) {
+            Ok(path) => println!("trace written to {}", path.display()),
+            Err(err) => eprintln!("could not write trace JSON: {err}"),
+        }
+    }
 }

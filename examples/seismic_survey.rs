@@ -15,13 +15,21 @@
 //! ```text
 //! TEMPEST_PROFILE=1 cargo run --release --example seismic_survey --features obs
 //! ```
+//!
+//! Add `--trace` (or `TEMPEST_TRACE=1`) to also capture event-level traces:
+//! each schedule prints the per-diagonal load-imbalance summary and writes
+//! Chrome trace JSON under `results/trace/` (open in Perfetto).
 
 use tempest::core::config::EquationKind;
 use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
 use tempest::grid::{Domain, Model, Shape};
+use tempest::obs;
 use tempest::sparse::SparsePoints;
 
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        obs::trace::set_enabled(true);
+    }
     let n = 128;
     let domain = Domain::uniform(Shape::cube(n), 10.0);
     let c_top = 1500.0f32;
@@ -44,17 +52,29 @@ fn main() {
     println!("shot at {shot:?}, {} receivers, nt = {nt}", rec_coords.len());
     let mut solver = Acoustic::new(&model, cfg, src, Some(rec));
 
-    let (base, base_profile, base_meta) = solver.run_profiled(&Execution::baseline());
+    let (base, base_profile, base_trace, base_meta) = solver.run_traced(&Execution::baseline());
     let gather = solver.trace().unwrap();
     println!("baseline : {:>7.3} GPts/s", base.gpoints_per_s);
-    let (wtb, wtb_profile, wtb_meta) = solver.run_profiled(&Execution::wavefront_default());
+    let (wtb, wtb_profile, wtb_trace, wtb_meta) =
+        solver.run_traced(&Execution::wavefront_default());
     println!(
         "wavefront: {:>7.3} GPts/s  speedup {:.2}x",
         wtb.gpoints_per_s,
         wtb.gpoints_per_s / base.gpoints_per_s
     );
+    let (diag, diag_profile, diag_trace, diag_meta) =
+        solver.run_traced(&Execution::wavefront_diagonal_default());
+    println!(
+        "wavefront-diag: {:>7.3} GPts/s  speedup {:.2}x",
+        diag.gpoints_per_s,
+        diag.gpoints_per_s / base.gpoints_per_s
+    );
 
-    for (profile, meta) in [(base_profile, base_meta), (wtb_profile, wtb_meta)] {
+    for (profile, trace, meta) in [
+        (base_profile, base_trace, base_meta),
+        (wtb_profile, wtb_trace, wtb_meta),
+        (diag_profile, diag_trace, diag_meta),
+    ] {
         if profile.is_empty() {
             continue; // profiling off (or built without --features obs)
         }
@@ -62,6 +82,15 @@ fn main() {
         match profile.write_json(&meta) {
             Ok(path) => println!("profile written to {}", path.display()),
             Err(err) => eprintln!("could not write profile JSON: {err}"),
+        }
+        if !trace.is_empty() {
+            // Per-diagonal load balance next to the per-phase table, plus
+            // the Perfetto-loadable event trace.
+            println!("{}", obs::analysis::TraceAnalysis::from_trace(&trace).render());
+            match trace.write_chrome_json(&meta) {
+                Ok(path) => println!("trace written to {}", path.display()),
+                Err(err) => eprintln!("could not write trace JSON: {err}"),
+            }
         }
     }
 

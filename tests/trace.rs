@@ -1,0 +1,295 @@
+//! Integration tests for event-level tile tracing (`tempest-obs::trace`).
+//!
+//! The acceptance case from DESIGN.md §11: a traced acoustic 64³×8 run under
+//! `Schedule::WavefrontDiagonal` must produce one `tile` span per executed
+//! space-time tile with correct `(diagonal, tx, ty)` arguments, drop nothing
+//! at the default ring capacity, and export Chrome trace-event JSON that
+//! parses back. The trace gate is independent of the profiling gate, and a
+//! build without `--features obs` (or with the runtime switch off) must
+//! record nothing.
+//!
+//! Rings are process-global, so every recording test serialises on a mutex
+//! and resets both telemetry layers before running.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tempest::core::config::EquationKind;
+use tempest::core::{Acoustic, Execution, SimConfig, WaveSolver};
+use tempest::grid::{Domain, Model, Shape};
+use tempest::obs;
+#[cfg(feature = "obs")]
+use tempest::obs::trace::SpanKind;
+use tempest::sparse::SparsePoints;
+
+#[cfg(feature = "obs")]
+const N: usize = 64;
+#[cfg(feature = "obs")]
+const NT: usize = 8;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    obs::reset();
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+    g
+}
+
+/// The acceptance workload: acoustic, 64³ grid, 8 timesteps, SO 4.
+#[cfg(feature = "obs")]
+fn acoustic64() -> Acoustic {
+    let d = Domain::uniform(Shape::cube(N), 10.0);
+    let model = Model::two_layer(d, 1600.0, 2800.0, 0.5);
+    let cfg = SimConfig::new(d, 4, EquationKind::Acoustic, 2800.0, 50.0)
+        .with_nt(NT)
+        .with_f0(25.0);
+    let src = SparsePoints::single_center(&d, 0.37);
+    let rec = SparsePoints::receiver_line(&d, 4, 0.2);
+    Acoustic::new(&model, cfg, src, Some(rec))
+}
+
+/// Events of one thread must be properly nested: sorted by start (ties by
+/// longest-first), every span either contains or is disjoint from its
+/// predecessor on the stack. Span guards are scoped values, so anything else
+/// means timestamps or ring order are corrupt.
+#[cfg(feature = "obs")]
+fn assert_well_nested(trace: &obs::trace::Trace) {
+    for &(tid, ref label) in &trace.threads {
+        let mut evs: Vec<_> = trace.events.iter().filter(|e| e.tid == tid).collect();
+        evs.sort_by_key(|e| (e.t0_ns, std::cmp::Reverse(e.end_ns())));
+        let mut stack: Vec<u64> = Vec::new(); // open span end times
+        for e in evs {
+            while let Some(&end) = stack.last() {
+                if end <= e.t0_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&end) = stack.last() {
+                assert!(
+                    e.end_ns() <= end,
+                    "thread {tid} ({label}): span {:?} [{}, {}) straddles an \
+                     enclosing span ending at {end}",
+                    e.kind,
+                    e.t0_ns,
+                    e.end_ns()
+                );
+            }
+            stack.push(e.end_ns());
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn traced_diagonal_run_covers_every_tile_and_roundtrips() {
+    let _g = guard();
+    let mut s = acoustic64();
+    let exec = Execution::wavefront_diagonal_default();
+    let (stats, profile, trace, meta) = s.run_traced(&exec);
+    assert_eq!(stats.nt, NT);
+    assert!(!profile.is_empty(), "profiling gate is on");
+    assert!(!trace.is_empty(), "tracing gate is on");
+
+    // Zero drops at the default ring capacity (DESIGN.md §11 sizing claim).
+    assert_eq!(trace.dropped, 0, "64³×8 must fit the default ring");
+    assert_eq!(trace.capacity, obs::trace::DEFAULT_CAPACITY);
+
+    // One tile span per space-time tile of the schedule, each carrying its
+    // (diagonal, tx, ty, t0, t1) coordinates. Acoustic is single-phase with
+    // dependency radius space_order/2 = 2.
+    let spec = exec.wavefront_spec(2, 1);
+    let mut expected = Vec::new();
+    tempest::tiling::wavefront::for_each_tile(Shape::cube(N), NT, &spec, |t| expected.push(*t));
+    assert!(expected.len() > 1, "the case must actually tile");
+    assert_eq!(trace.count(SpanKind::Tile), expected.len());
+    for t in &expected {
+        let found = trace.events_of(SpanKind::Tile).any(|e| {
+            e.args.diagonal == t.diagonal() as i32
+                && e.args.tx == t.xt as i32
+                && e.args.ty == t.yt as i32
+                && e.args.t0 == t.t0 as i32
+                && e.args.t1 == t.t1 as i32
+        });
+        assert!(found, "no tile span for {t:?}");
+    }
+    for e in trace.events_of(SpanKind::Tile) {
+        assert_eq!(e.args.diagonal, e.args.tx + e.args.ty, "diagonal is xt+yt");
+    }
+    // The coordinator records one span per anti-diagonal per time tile, and
+    // the propagator phases show up under the tiles.
+    let ndiag = spec.tiles_x(N) + spec.tiles_y(N) - 1;
+    let time_tiles = NT.div_ceil(spec.tile_t);
+    assert_eq!(trace.count(SpanKind::Diagonal), ndiag * time_tiles);
+    assert!(trace.count(SpanKind::Stencil) > 0, "stencil phases traced");
+    assert!(trace.count(SpanKind::Sparse) > 0, "sparse phases traced");
+    assert_well_nested(&trace);
+
+    // Export → parse back. The stem uses sanitized labels: separator runs
+    // collapse to single underscores.
+    let dir = std::env::temp_dir().join("tempest-trace-int-roundtrip");
+    let path = trace.write_chrome_json_in(&dir, &meta).unwrap();
+    assert_eq!(
+        path.file_name().unwrap().to_str().unwrap(),
+        "acoustic-so4__wavefront-diag_64x64_t8_8x8.trace.json"
+    );
+    let body = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let v = obs::json::Value::parse(&body).expect("exported trace must be valid JSON");
+    let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+    // One complete ("X") event per recorded span plus one thread-name
+    // metadata ("M") record per thread.
+    let spans: Vec<_> = evs
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .collect();
+    let names: Vec<_> = evs
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+        .collect();
+    assert_eq!(spans.len(), trace.events.len());
+    assert_eq!(names.len(), trace.threads.len());
+    // Every span's tid maps to a named thread, so Perfetto groups per-thread
+    // tracks; tile spans round-trip their args.
+    let tids: Vec<i64> = names
+        .iter()
+        .map(|e| e.get("tid").unwrap().as_i64().unwrap())
+        .collect();
+    let mut tiles_in_json = 0;
+    for e in &spans {
+        assert!(tids.contains(&e.get("tid").unwrap().as_i64().unwrap()));
+        if e.get("name").unwrap().as_str() == Some("tile") {
+            tiles_in_json += 1;
+            let args = e.get("args").unwrap();
+            let d = args.get("diagonal").unwrap().as_i64().unwrap();
+            let tx = args.get("tx").unwrap().as_i64().unwrap();
+            let ty = args.get("ty").unwrap().as_i64().unwrap();
+            assert_eq!(d, tx + ty);
+        }
+    }
+    assert_eq!(tiles_in_json, expected.len());
+    assert_eq!(v.get("otherData").unwrap().get("dropped").unwrap().as_u64(), Some(0));
+    obs::trace::set_enabled(false);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn slab_and_sweep_schedules_record_their_own_spans() {
+    let _g = guard();
+    let mut s = acoustic64();
+
+    let (_, _, trace, _) = s.run_traced(&Execution::wavefront_default());
+    let spec = Execution::wavefront_default().wavefront_spec(2, 1);
+    let expected_slabs = tempest::tiling::wavefront::slabs(Shape::cube(N), NT, &spec).len();
+    assert_eq!(trace.count(SpanKind::Slab), expected_slabs);
+    assert_eq!(trace.count(SpanKind::Tile), 0, "no diagonal executor ran");
+    // Slab args carry the owning tile's coordinates and single vt.
+    for e in trace.events_of(SpanKind::Slab) {
+        assert_eq!(e.args.diagonal, e.args.tx + e.args.ty);
+        assert!(e.args.vt >= 0 && e.args.vt < NT as i32);
+    }
+    assert_well_nested(&trace);
+
+    let (_, _, trace, _) = s.run_traced(&Execution::baseline());
+    assert_eq!(trace.count(SpanKind::Sweep), NT, "one sweep span per timestep");
+    assert_eq!(trace.count(SpanKind::Slab), 0);
+    assert_eq!(trace.count(SpanKind::Tile), 0);
+    obs::trace::set_enabled(false);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn analysis_matches_trace_and_renders() {
+    let _g = guard();
+    let mut s = acoustic64();
+    let (_, _, trace, _) = s.run_traced(&Execution::wavefront_diagonal_default());
+    let a = obs::analysis::TraceAnalysis::from_trace(&trace);
+    let spec = Execution::wavefront_diagonal_default().wavefront_spec(2, 1);
+    let ndiag = spec.tiles_x(N) + spec.tiles_y(N) - 1;
+    assert_eq!(a.diagonals.len(), ndiag * NT.div_ceil(spec.tile_t));
+    let tiles: usize = a.diagonals.iter().map(|d| d.tiles).sum();
+    assert_eq!(tiles, trace.count(SpanKind::Tile));
+    assert!(a.worst_imbalance >= 1.0 && a.worst_imbalance.is_finite());
+    assert!(a.critical_path_ns > 0 && a.critical_path_ns <= a.total_tile_ns);
+    let rendered = a.render();
+    assert!(rendered.contains("diagonal"), "render names the table: {rendered}");
+    obs::trace::set_enabled(false);
+}
+
+/// With the feature compiled in but the runtime trace gate off, runs record
+/// counters (profiling gate is separate) but no events.
+#[cfg(feature = "obs")]
+#[test]
+fn trace_gate_off_records_counters_but_no_events() {
+    let _g = guard();
+    obs::trace::set_enabled(false);
+    let mut s = acoustic64();
+    let (_, profile, trace, _) = s.run_traced(&Execution::wavefront_diagonal_default());
+    assert!(!profile.is_empty(), "profiling gate unaffected by trace gate");
+    assert!(trace.is_empty(), "trace gate off must record no events");
+    assert_eq!(trace.dropped, 0);
+}
+
+/// DESIGN.md §9's overhead bound, extended to tracing: with the runtime
+/// trace gate off, the instrumented hot loops must cost no more than with
+/// event capture on (generous 3×+20ms noise bound — CI boxes jitter; the
+/// true no-feature comparison is documented in DESIGN.md, not measurable in
+/// one binary).
+#[cfg(feature = "obs")]
+#[test]
+fn trace_disabled_costs_no_more_than_enabled() {
+    use std::time::{Duration, Instant};
+    let _g = guard();
+    let d = Domain::uniform(Shape::cube(32), 10.0);
+    let model = Model::homogeneous(d, 2000.0);
+    let cfg = SimConfig::new(d, 4, EquationKind::Acoustic, 2000.0, 50.0)
+        .with_nt(8)
+        .with_f0(25.0);
+    let src = SparsePoints::single_center(&d, 0.4);
+    let mut s = Acoustic::new(&model, cfg, src, None);
+    let exec = Execution::wavefront_diagonal_default().sequential();
+    s.run(&exec); // warm-up
+    let mut median = |on: bool| {
+        obs::trace::set_enabled(on);
+        obs::trace::reset();
+        let mut times: Vec<Duration> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                s.run(&exec);
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        times[1]
+    };
+    let enabled = median(true);
+    let disabled = median(false);
+    assert!(
+        disabled <= enabled * 3 + Duration::from_millis(20),
+        "trace-disabled run slower than enabled: {disabled:?} vs {enabled:?}"
+    );
+}
+
+/// Without the `obs` feature the whole trace layer is compiled out: even
+/// with the runtime switch forced on, a run yields an empty trace.
+#[cfg(not(feature = "obs"))]
+#[test]
+fn no_feature_build_records_nothing() {
+    let _g = guard();
+    obs::trace::set_enabled(true);
+    assert!(!obs::trace::enabled(), "no-feature build cannot enable tracing");
+    let d = Domain::uniform(Shape::cube(16), 10.0);
+    let model = Model::homogeneous(d, 2000.0);
+    let cfg = SimConfig::new(d, 4, EquationKind::Acoustic, 2000.0, 50.0)
+        .with_nt(4)
+        .with_f0(25.0);
+    let src = SparsePoints::single_center(&d, 0.4);
+    let mut s = Acoustic::new(&model, cfg, src, None);
+    let (_, profile, trace, _) = s.run_traced(&Execution::wavefront_diagonal_default());
+    assert!(profile.is_empty());
+    assert!(trace.is_empty());
+    assert_eq!(trace.dropped, 0);
+}
