@@ -49,6 +49,7 @@ fn scalar_vs_pencil(args: &HarnessArgs) {
         block_x: 8,
         block_y: 8,
         diagonal: false,
+        dataflow: false,
     };
     let mut run = |model: &str, s: &mut dyn tempest_core::WaveSolver| {
         for (sched, exec) in [
@@ -100,6 +101,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         block_x: 8,
         block_y: 8,
         diagonal: false,
+        dataflow: false,
     };
     let tiled = Candidate {
         tile_x: 16,
@@ -108,6 +110,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         block_x: 8,
         block_y: 8,
         diagonal: false,
+        dataflow: false,
     };
     for (label, c) in [("pure skewing", skew_only), ("tiled wavefront", tiled)] {
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
@@ -130,6 +133,7 @@ fn listing4_vs_listing5(args: &HarnessArgs) {
         block_x: 8,
         block_y: 8,
         diagonal: false,
+        dataflow: false,
     };
     let counts = if args.fast {
         vec![1usize, 64]
@@ -179,6 +183,7 @@ fn tile_height_sweep(args: &HarnessArgs) {
             block_x: 8,
             block_y: 8,
             diagonal: false,
+            dataflow: false,
         };
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
         if tt == 1 {

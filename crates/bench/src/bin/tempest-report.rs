@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p tempest-bench --release --features obs --bin tempest-report -- \
 //!     [--size 64] [--nt 8] [--so 4] [--fast] [--model acoustic,tti,elastic] \
+//!     [--schedules wavefront-diag,wavefront-dataflow] \
 //!     [--kernel scalar|pencil|both] [--repeats 2] [--out results] [--trace] \
 //!     [--baseline results/baseline.json] [--check-baseline] [--write-baseline] \
 //!     [--threshold 0.15]
@@ -30,6 +31,7 @@ struct ReportArgs {
     nt: usize,
     so: usize,
     models: Vec<String>,
+    schedules: Option<Vec<String>>,
     kernels: Vec<KernelPath>,
     repeats: usize,
     out: PathBuf,
@@ -47,6 +49,7 @@ fn parse_args() -> ReportArgs {
         nt: 8,
         so: 4,
         models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
+        schedules: None,
         kernels: vec![KernelPath::Pencil],
         repeats: 2,
         out: PathBuf::from("results"),
@@ -83,6 +86,16 @@ fn parse_args() -> ReportArgs {
                     .split(',')
                     .map(String::from)
                     .collect();
+            }
+            "--schedules" => {
+                i += 1;
+                a.schedules = Some(
+                    argv.get(i)
+                        .expect("--schedules needs a comma-separated list")
+                        .split(',')
+                        .map(String::from)
+                        .collect(),
+                );
             }
             "--kernel" => {
                 i += 1;
@@ -123,7 +136,9 @@ fn parse_args() -> ReportArgs {
             "--help" | "-h" => {
                 eprintln!(
                     "options: --size N --nt N --so N --fast \
-                     --model acoustic,tti,elastic --kernel scalar|pencil|both \
+                     --model acoustic,tti,elastic \
+                     --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow \
+                     --kernel scalar|pencil|both \
                      --repeats N --out DIR --trace \
                      --baseline PATH --check-baseline --write-baseline --threshold F"
                 );
@@ -145,12 +160,28 @@ fn kernel_label(k: KernelPath) -> &'static str {
 
 /// The measured schedules: tuned-shape defaults rather than a tuning sweep —
 /// the gate wants stable, comparable configurations, not the fastest ones.
-fn schedules() -> Vec<(&'static str, Execution)> {
-    vec![
+fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
+    let all = vec![
         ("spaceblocked", Execution::baseline()),
         ("wavefront", Execution::wavefront_default()),
         ("wavefront-diag", Execution::wavefront_diagonal_default()),
-    ]
+        ("wavefront-dataflow", Execution::wavefront_dataflow_default()),
+    ];
+    match filter {
+        None => all,
+        Some(names) => {
+            for n in names {
+                assert!(
+                    all.iter().any(|(label, _)| label == n),
+                    "unknown schedule {n:?} (want one of {:?})",
+                    all.iter().map(|(l, _)| *l).collect::<Vec<_>>()
+                );
+            }
+            all.into_iter()
+                .filter(|(label, _)| names.iter().any(|n| n == label))
+                .collect()
+        }
+    }
 }
 
 fn build_solver(model: &str, size: usize, so: usize, nt: usize) -> Box<dyn WaveSolver> {
@@ -195,7 +226,7 @@ fn main() {
 
     for model in &args.models {
         let mut solver = build_solver(model, args.size, args.so, args.nt);
-        for (sched_name, exec) in schedules() {
+        for (sched_name, exec) in schedules(args.schedules.as_deref()) {
             for &kernel in &args.kernels {
                 let exec = sweep::with_kernel(exec, kernel);
                 let (entry, trace, meta) = BenchReport::measure_entry(

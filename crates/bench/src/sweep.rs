@@ -12,10 +12,19 @@ use tempest_obs as obs;
 use tempest_par::Policy;
 use tempest_tiling::{autotune, autotune_measured, Candidate, MeasuredResult, Measurement, TuneResult};
 
-/// Execution for a WTB candidate (slab-ordered or diagonal-parallel,
-/// per the candidate's `diagonal` flag).
+/// Execution for a WTB candidate (slab-ordered, diagonal-parallel or
+/// dependency-driven dataflow, per the candidate's `diagonal`/`dataflow`
+/// flags).
 pub fn exec_wavefront(c: &Candidate) -> Execution {
-    let schedule = if c.diagonal {
+    let schedule = if c.dataflow {
+        Schedule::WavefrontDataflow {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    } else if c.diagonal {
         Schedule::WavefrontDiagonal {
             tile_x: c.tile_x,
             tile_y: c.tile_y,
@@ -187,6 +196,29 @@ mod tests {
         assert!(bx >= 4 && by >= 4);
         let st = measure(&mut tuner, &exec_spaceblocked(bx, by), 2);
         assert!(st.gpoints_per_s > 0.0);
+    }
+
+    #[test]
+    fn dataflow_candidate_maps_to_dataflow_schedule() {
+        let base = Candidate {
+            tile_x: 16,
+            tile_y: 16,
+            tile_t: 4,
+            block_x: 8,
+            block_y: 8,
+            diagonal: false,
+            dataflow: false,
+        };
+        let c = base.with_dataflow();
+        assert!(matches!(
+            exec_wavefront(&c).schedule,
+            Schedule::WavefrontDataflow { tile_x: 16, tile_y: 16, tile_t: 4, .. }
+        ));
+        let d = base.with_diagonal();
+        assert!(matches!(
+            exec_wavefront(&d).schedule,
+            Schedule::WavefrontDiagonal { .. }
+        ));
     }
 
     #[test]

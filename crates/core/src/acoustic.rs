@@ -577,6 +577,12 @@ impl WaveSolver for Acoustic {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::WavefrontDataflow { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 1);
+                wavefront::execute_dataflow(shape, nt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -697,6 +703,107 @@ mod tests {
             seq.bit_equal(&par),
             "concurrent diagonal tiles must not change the wavefield, max diff {}",
             seq.max_abs_diff(&par)
+        );
+    }
+
+    #[test]
+    fn dataflow_matches_diagonal_bitwise_across_policies() {
+        // Tentpole acceptance: the dependency-driven executor must reproduce
+        // the diagonal-barrier executor bit-for-bit under every policy,
+        // including capped worker counts that force stealing imbalance.
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let mut a = small_setup(so, 16);
+            let mut dg = Execution::wavefront_diagonal_default().sequential();
+            dg.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 4,
+                block_x: 4,
+                block_y: 4,
+            };
+            a.run(&dg);
+            let want = a.final_field();
+            for pol in [
+                Policy::Sequential,
+                Policy::Parallel,
+                Policy::Capped { threads: 1 },
+                Policy::Capped { threads: 2 },
+                Policy::Capped { threads: 4 },
+            ] {
+                let mut df = dg;
+                df.schedule = Schedule::WavefrontDataflow {
+                    tile_x: 8,
+                    tile_y: 8,
+                    tile_t: 4,
+                    block_x: 4,
+                    block_y: 4,
+                };
+                df.policy = pol;
+                a.run(&df);
+                let got = a.final_field();
+                assert!(
+                    want.bit_equal(&got),
+                    "so={so} policy={pol:?}: dataflow must match diagonal bitwise, max diff {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_fused_sparse_modes_agree_bitwise() {
+        // Fused source/receiver work must land on the correct vt regardless
+        // of the order in which workers claim ready tiles.
+        let mut a = small_setup(4, 12);
+        let mut e1 = Execution::wavefront_dataflow_default();
+        e1.schedule = Schedule::WavefrontDataflow {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 4,
+            block_x: 8,
+            block_y: 8,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        a.run(&e1);
+        let f1 = a.final_field();
+        a.run(&e2);
+        let f2 = a.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under dataflow executor");
+    }
+
+    #[test]
+    fn dataflow_tile_t_one_degrades_to_spaceblocked_bitwise() {
+        // tile_t = 1: the dependency graph links consecutive timesteps only,
+        // so the schedule must reduce to per-timestep spatial blocking.
+        let mut a = small_setup(4, 10);
+        let mut sb = Execution::baseline().sequential();
+        sb.schedule = Schedule::SpaceBlocked {
+            block_x: 4,
+            block_y: 4,
+        };
+        sb.sparse = SparseMode::Fused;
+        a.run(&sb);
+        let base = a.final_field();
+        let mut df = Execution::wavefront_dataflow_default();
+        df.schedule = Schedule::WavefrontDataflow {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 1,
+            block_x: 4,
+            block_y: 4,
+        };
+        df.sparse = SparseMode::Fused;
+        df.policy = tempest_par::Policy::Capped { threads: 2 };
+        a.run(&df);
+        let f = a.final_field();
+        assert!(
+            base.bit_equal(&f),
+            "tile_t=1 dataflow must equal space blocking, max diff {}",
+            base.max_abs_diff(&f)
         );
     }
 

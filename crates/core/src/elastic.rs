@@ -648,6 +648,12 @@ impl WaveSolver for Elastic {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::WavefrontDataflow { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 2);
+                wavefront::execute_dataflow(shape, nvt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -748,6 +754,73 @@ mod tests {
             let par = e.final_field();
             assert!(base.bit_equal(&par), "so={so}: parallel diagonal differs");
         }
+    }
+
+    #[test]
+    fn dataflow_matches_diagonal_bitwise_across_policies() {
+        // Two virtual steps per timestep (velocity then stress): the tile
+        // dependency graph must keep the phase interleaving intact even
+        // though the stress phase reads same-timestep velocities.
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let mut e = setup(so, 12);
+            let mut dg = Execution::wavefront_diagonal_default().sequential();
+            dg.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            e.run(&dg);
+            let want = e.final_field();
+            for pol in [
+                Policy::Sequential,
+                Policy::Parallel,
+                Policy::Capped { threads: 1 },
+                Policy::Capped { threads: 2 },
+                Policy::Capped { threads: 4 },
+            ] {
+                let mut df = dg;
+                df.schedule = Schedule::WavefrontDataflow {
+                    tile_x: 8,
+                    tile_y: 8,
+                    tile_t: 3,
+                    block_x: 4,
+                    block_y: 4,
+                };
+                df.policy = pol;
+                e.run(&df);
+                let got = e.final_field();
+                assert!(
+                    want.bit_equal(&got),
+                    "so={so} policy={pol:?}: elastic dataflow must match diagonal, max diff {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_fused_sparse_modes_agree_bitwise() {
+        let mut e = setup(4, 10);
+        let mut e1 = Execution::wavefront_dataflow_default();
+        e1.schedule = Schedule::WavefrontDataflow {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 3,
+            block_x: 8,
+            block_y: 8,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        e.run(&e1);
+        let f1 = e.final_field();
+        e.run(&e2);
+        let f2 = e.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under elastic dataflow");
     }
 
     #[test]

@@ -87,6 +87,26 @@ pub enum Schedule {
         /// Intra-slab block extent along y (Table I `block_y`).
         block_y: usize,
     },
+    /// Wave-front temporal blocking with dependency-driven (dataflow) tile
+    /// execution: same parameters and identical (bitwise) results as
+    /// [`Wavefront`]/[`WavefrontDiagonal`], but each space-time tile carries
+    /// an atomic counter of its true predecessors and workers steal
+    /// freshly-ready tiles from per-worker deques — no barriers at all
+    /// inside a sweep, just one join at its end. Soundness of the
+    /// predecessor sets is certified by
+    /// `tempest_tiling::legality::check_dataflow_dependencies`.
+    WavefrontDataflow {
+        /// Spatial tile extent along x (Table I `tile_x`).
+        tile_x: usize,
+        /// Spatial tile extent along y (Table I `tile_y`).
+        tile_y: usize,
+        /// Temporal tile height in timesteps.
+        tile_t: usize,
+        /// Intra-slab block extent along x (Table I `block_x`).
+        block_x: usize,
+        /// Intra-slab block extent along y (Table I `block_y`).
+        block_y: usize,
+    },
 }
 
 /// A complete execution configuration.
@@ -152,6 +172,23 @@ impl Execution {
         }
     }
 
+    /// Like [`wavefront_default`](Self::wavefront_default) but with the
+    /// dependency-driven (dataflow) tile executor.
+    pub fn wavefront_dataflow_default() -> Self {
+        Execution {
+            schedule: Schedule::WavefrontDataflow {
+                tile_x: 64,
+                tile_y: 64,
+                tile_t: 8,
+                block_x: 8,
+                block_y: 8,
+            },
+            sparse: SparseMode::FusedCompressed,
+            policy: Policy::default(),
+            kernel: KernelPath::default(),
+        }
+    }
+
     /// Force sequential execution (reproducible timings on shared machines).
     pub fn sequential(mut self) -> Self {
         self.policy = Policy::Sequential;
@@ -172,8 +209,8 @@ impl Execution {
     }
 
     /// Convert to the tiling crate's spec given a per-virtual-step skew and
-    /// phase count. Panics if the schedule is not `Wavefront` or
-    /// `WavefrontDiagonal` (both share the same tile geometry).
+    /// phase count. Panics if the schedule is not one of the wavefront
+    /// variants (all of which share the same tile geometry).
     pub fn wavefront_spec(&self, skew: usize, phases: usize) -> WavefrontSpec {
         match self.schedule {
             Schedule::Wavefront {
@@ -184,6 +221,13 @@ impl Execution {
                 block_y,
             }
             | Schedule::WavefrontDiagonal {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            }
+            | Schedule::WavefrontDataflow {
                 tile_x,
                 tile_y,
                 tile_t,
@@ -230,6 +274,13 @@ impl Execution {
                 block_x,
                 block_y,
             } => format!("wavefront-diag {tile_x}x{tile_y} t{tile_t} / {block_x}x{block_y}"),
+            Schedule::WavefrontDataflow {
+                tile_x,
+                tile_y,
+                tile_t,
+                block_x,
+                block_y,
+            } => format!("wavefront-dflow {tile_x}x{tile_y} t{tile_t} / {block_x}x{block_y}"),
         }
     }
 
@@ -237,7 +288,9 @@ impl Execution {
     pub fn validate(&self) {
         if matches!(
             self.schedule,
-            Schedule::Wavefront { .. } | Schedule::WavefrontDiagonal { .. }
+            Schedule::Wavefront { .. }
+                | Schedule::WavefrontDiagonal { .. }
+                | Schedule::WavefrontDataflow { .. }
         ) && self.sparse == SparseMode::Classic
         {
             panic!(
@@ -391,6 +444,25 @@ mod tests {
     #[should_panic(expected = "Fig. 4b")]
     fn classic_under_wavefront_diagonal_is_rejected() {
         let mut e = Execution::wavefront_diagonal_default();
+        e.sparse = SparseMode::Classic;
+        e.validate();
+    }
+
+    #[test]
+    fn wavefront_dataflow_shares_tile_geometry() {
+        let e = Execution::wavefront_dataflow_default();
+        e.validate();
+        assert_eq!(e.sparse, SparseMode::FusedCompressed);
+        let spec = e.wavefront_spec(2, 1);
+        assert_eq!(spec, Execution::wavefront_default().wavefront_spec(2, 1));
+        assert_eq!(e.wavefront_spec(4, 2).tile_t, 16);
+        assert_eq!(e.schedule_label(), "wavefront-dflow 64x64 t8 / 8x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 4b")]
+    fn classic_under_wavefront_dataflow_is_rejected() {
+        let mut e = Execution::wavefront_dataflow_default();
         e.sparse = SparseMode::Classic;
         e.validate();
     }

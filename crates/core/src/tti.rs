@@ -513,6 +513,12 @@ impl WaveSolver for Tti {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::WavefrontDataflow { .. } => {
+                let spec = exec.wavefront_spec(self.radius, 1);
+                wavefront::execute_dataflow(shape, nt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -630,6 +636,70 @@ mod tests {
             let par = t.final_field();
             assert!(base.bit_equal(&par), "so={so}: parallel diagonal differs");
         }
+    }
+
+    #[test]
+    fn dataflow_matches_diagonal_bitwise_across_policies() {
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let mut t = setup(0.35, so, 12);
+            let mut dg = Execution::wavefront_diagonal_default().sequential();
+            dg.schedule = Schedule::WavefrontDiagonal {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            t.run(&dg);
+            let want = t.final_field();
+            for pol in [
+                Policy::Sequential,
+                Policy::Parallel,
+                Policy::Capped { threads: 1 },
+                Policy::Capped { threads: 2 },
+                Policy::Capped { threads: 4 },
+            ] {
+                let mut df = dg;
+                df.schedule = Schedule::WavefrontDataflow {
+                    tile_x: 8,
+                    tile_y: 8,
+                    tile_t: 3,
+                    block_x: 4,
+                    block_y: 4,
+                };
+                df.policy = pol;
+                t.run(&df);
+                let got = t.final_field();
+                assert!(
+                    want.bit_equal(&got),
+                    "so={so} policy={pol:?}: TTI dataflow must match diagonal, max diff {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_fused_sparse_modes_agree_bitwise() {
+        let mut t = setup(0.35, 4, 12);
+        let mut e1 = Execution::wavefront_dataflow_default();
+        e1.schedule = Schedule::WavefrontDataflow {
+            tile_x: 8,
+            tile_y: 8,
+            tile_t: 3,
+            block_x: 4,
+            block_y: 4,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        t.run(&e1);
+        let f1 = t.final_field();
+        t.run(&e2);
+        let f2 = t.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under TTI dataflow");
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub mod trace;
 /// * `ParPublications` — jobs published to the board for workers to claim.
 /// * `WavefrontSlabs` / `WavefrontTiles` / `WavefrontDiagonals` — wavefront
 ///   executor scheduling units.
+/// * `DataflowReady` — tiles pushed onto a ready deque by the dataflow
+///   executor (initial roots plus every dependency-counter zero
+///   transition); equals the number of executed tiles, so it is
+///   deterministic across thread policies.
+/// * `DataflowSteals` — tiles a dataflow participant claimed from another
+///   participant's deque. Depends on runtime timing, so it is *not*
+///   deterministic across runs or thread caps.
 /// * `SpaceSweeps` — per-virtual-timestep sweeps of the space-blocked
 ///   executor.
 /// * `PencilRows` — contiguous z-rows computed by the SIMD pencil kernels
@@ -61,12 +68,14 @@ pub enum Counter {
     WavefrontSlabs,
     WavefrontTiles,
     WavefrontDiagonals,
+    DataflowReady,
+    DataflowSteals,
     SpaceSweeps,
     PencilRows,
 }
 
 impl Counter {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
     pub const ALL: [Counter; Self::COUNT] = [
         Counter::StencilUpdates,
         Counter::SourceInjections,
@@ -76,6 +85,8 @@ impl Counter {
         Counter::WavefrontSlabs,
         Counter::WavefrontTiles,
         Counter::WavefrontDiagonals,
+        Counter::DataflowReady,
+        Counter::DataflowSteals,
         Counter::SpaceSweeps,
         Counter::PencilRows,
     ];
@@ -90,6 +101,8 @@ impl Counter {
             Counter::WavefrontSlabs => "wavefront_slabs",
             Counter::WavefrontTiles => "wavefront_tiles",
             Counter::WavefrontDiagonals => "wavefront_diagonals",
+            Counter::DataflowReady => "dataflow_ready",
+            Counter::DataflowSteals => "dataflow_steals",
             Counter::SpaceSweeps => "space_sweeps",
             Counter::PencilRows => "pencil_rows",
         }
@@ -98,9 +111,12 @@ impl Counter {
 
 /// Wall-clock phases timed by [`start`]. `Stencil` spans a whole region
 /// update including its fused sparse work; `Sparse` nests inside it (the
-/// dense-only share is `Stencil − Sparse`). `BarrierWait` is the time the
-/// `run_batch` caller spends waiting for workers after exhausting the batch.
-/// `Slab`/`Diagonal`/`Sweep` are executor scheduling units.
+/// dense-only share is `Stencil − Sparse`). `BarrierWait` is the time a
+/// `run_batch` caller spends waiting for workers after exhausting the batch,
+/// plus the time any `run_dataflow` participant spends idle with no ready
+/// tile to claim. `Slab`/`Diagonal`/`Sweep` are executor scheduling units;
+/// `Dataflow` is the caller-side span of one whole dependency-driven sweep
+/// (the analogue of the sum of a run's `Diagonal` phases).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Phase {
@@ -109,17 +125,19 @@ pub enum Phase {
     BarrierWait,
     Slab,
     Diagonal,
+    Dataflow,
     Sweep,
 }
 
 impl Phase {
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
     pub const ALL: [Phase; Self::COUNT] = [
         Phase::Stencil,
         Phase::Sparse,
         Phase::BarrierWait,
         Phase::Slab,
         Phase::Diagonal,
+        Phase::Dataflow,
         Phase::Sweep,
     ];
 
@@ -130,6 +148,7 @@ impl Phase {
             Phase::BarrierWait => "barrier_wait",
             Phase::Slab => "slab",
             Phase::Diagonal => "diagonal",
+            Phase::Dataflow => "dataflow",
             Phase::Sweep => "sweep",
         }
     }

@@ -36,11 +36,13 @@ pub const DEFAULT_CAPACITY: usize = 262_144;
 // ---------------------------------------------------------------------------
 
 /// What a span measures. `Tile` is one space-time tile of the
-/// diagonal-parallel executor; `Slab` one (vt, tile) slab of the slab-ordered
-/// executor; `Sweep` one virtual timestep of the space-blocked path;
-/// `Diagonal` the coordinator-side span of one anti-diagonal batch;
-/// `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
-/// `run_batch` caller's wait for workers.
+/// diagonal-parallel or dataflow executor; `Slab` one (vt, tile) slab of the
+/// slab-ordered executor; `Sweep` one virtual timestep of the space-blocked
+/// path; `Diagonal` the coordinator-side span of one anti-diagonal batch;
+/// `Dataflow` the coordinator-side span of one whole dependency-driven
+/// sweep; `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
+/// `run_batch` caller's wait for workers or a dataflow participant's idle
+/// wait for a ready tile.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
 pub enum SpanKind {
@@ -48,18 +50,20 @@ pub enum SpanKind {
     Slab,
     Sweep,
     Diagonal,
+    Dataflow,
     Stencil,
     Sparse,
     BarrierWait,
 }
 
 impl SpanKind {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     pub const ALL: [SpanKind; Self::COUNT] = [
         SpanKind::Tile,
         SpanKind::Slab,
         SpanKind::Sweep,
         SpanKind::Diagonal,
+        SpanKind::Dataflow,
         SpanKind::Stencil,
         SpanKind::Sparse,
         SpanKind::BarrierWait,
@@ -71,6 +75,7 @@ impl SpanKind {
             SpanKind::Slab => "slab",
             SpanKind::Sweep => "sweep",
             SpanKind::Diagonal => "diagonal",
+            SpanKind::Dataflow => "dataflow",
             SpanKind::Stencil => "stencil",
             SpanKind::Sparse => "sparse",
             SpanKind::BarrierWait => "barrier_wait",

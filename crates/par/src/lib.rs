@@ -25,8 +25,17 @@
 //! tiles); this crate decides how to run them. Scheduling is dynamic: items
 //! are claimed from a shared atomic counter, so imbalanced items (clipped
 //! boundary tiles vs. interior tiles) do not idle workers.
+//!
+//! [`run_dataflow`] generalises the flat batch to a *dependency graph*: each
+//! node carries an atomic counter of unfinished predecessors, completing a
+//! node decrements its successors' counters, and counters reaching zero push
+//! the node onto the finishing participant's deque. Other participants steal
+//! from the opposite deque end when their own runs dry, so the only global
+//! synchronisation is one join at the end of the whole graph — no per-level
+//! barriers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use tempest_obs as obs;
@@ -134,8 +143,27 @@ impl Job {
     }
 }
 
+/// A claimable publication: a flat dynamic-scheduling batch or a
+/// dependency-counted dataflow graph.
+#[derive(Clone)]
+enum Work {
+    Batch(Arc<Job>),
+    Dataflow(Arc<DataflowJob>),
+}
+
+impl Work {
+    fn help(&self) {
+        match self {
+            Work::Batch(job) => job.help(),
+            // Pool workers don't charge their idle parks to the
+            // `BarrierWait` phase timer — see `DataflowJob::idle_wait`.
+            Work::Dataflow(job) => job.help(false),
+        }
+    }
+}
+
 /// Sequence-numbered board contents: the current job and its thread cap.
-type Posted = (u64, Option<(Arc<Job>, usize)>);
+type Posted = (u64, Option<(Work, usize)>);
 
 /// Publication slot shared between callers and workers.
 struct Board {
@@ -182,10 +210,10 @@ fn worker_loop(id: usize, board: Arc<Board>) {
                 slot = board.cv.wait(slot).unwrap();
             }
         };
-        if let Some((job, cap)) = job {
+        if let Some((work, cap)) = job {
             // Caller counts as one participant; workers 0..cap-1 join it.
             if id + 1 < cap {
-                job.help();
+                work.help();
             }
         }
     }
@@ -223,7 +251,7 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     {
         let mut slot = p.board.slot.lock().unwrap();
         slot.0 += 1;
-        slot.1 = Some((Arc::clone(&job), cap));
+        slot.1 = Some((Work::Batch(Arc::clone(&job)), cap));
         p.board.cv.notify_all();
     }
     obs::add(obs::Counter::ParPublications, 1);
@@ -247,6 +275,359 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     drop(fin);
     wait_sp.stop();
     wait.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow execution: dependency-counted work stealing.
+// ---------------------------------------------------------------------------
+
+/// A static dependency graph for [`run_dataflow`]: node `i` may start once
+/// every node in its predecessor list has completed.
+///
+/// Stored in CSR form over *successors* (the direction the executor walks:
+/// finishing a node visits its successors to decrement their counters).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Per-node count of predecessors (the initial dependency counters).
+    pred_count: Vec<u32>,
+    /// CSR row offsets into `succ`, length `n + 1`.
+    succ_off: Vec<u32>,
+    /// Concatenated successor lists.
+    succ: Vec<u32>,
+}
+
+impl DepGraph {
+    /// Build from per-node predecessor lists: `preds[i]` holds the nodes
+    /// that must complete before node `i` may start. Duplicate entries are
+    /// honoured as-is (each decrements once), so callers should dedup.
+    ///
+    /// Panics when a predecessor index is out of range or a node lists
+    /// itself.
+    pub fn from_preds(preds: &[Vec<u32>]) -> Self {
+        let n = preds.len();
+        let mut pred_count = vec![0u32; n];
+        let mut succ_len = vec![0u32; n];
+        for (i, ps) in preds.iter().enumerate() {
+            pred_count[i] = u32::try_from(ps.len()).expect("predecessor list too long");
+            for &p in ps {
+                assert!(
+                    (p as usize) < n && p as usize != i,
+                    "invalid predecessor {p} of node {i} (n = {n})"
+                );
+                succ_len[p as usize] += 1;
+            }
+        }
+        let mut succ_off = vec![0u32; n + 1];
+        for i in 0..n {
+            succ_off[i + 1] = succ_off[i] + succ_len[i];
+        }
+        let mut cursor: Vec<u32> = succ_off[..n].to_vec();
+        let mut succ = vec![0u32; succ_off[n] as usize];
+        for (i, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succ[cursor[p as usize] as usize] = i as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        DepGraph {
+            pred_count,
+            succ_off,
+            succ,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.pred_count.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.pred_count.is_empty()
+    }
+
+    /// Predecessor count of node `i`.
+    pub fn pred_count(&self, i: usize) -> usize {
+        self.pred_count[i] as usize
+    }
+
+    /// Successor list of node `i`.
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+}
+
+/// One published dataflow graph execution.
+///
+/// Every participant loops: pop the newest entry of its own deque (LIFO —
+/// a tile it just unblocked likely shares halo data still in cache), or
+/// steal the oldest entry of another participant's deque (FIFO — take the
+/// work its owner would reach last). Completing a node decrements each
+/// successor's `pending` counter with `AcqRel`; the Release half publishes
+/// the node's writes to whichever thread later claims the successor, and
+/// the Acquire half makes the zero-transitioning thread observe every
+/// *other* predecessor's writes before it pushes the successor.
+struct DataflowJob {
+    /// Type-erased node runner; see `Job::func` for the lifetime contract
+    /// (the publishing caller's own `help` returns only at `done == n`).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Node count.
+    n: usize,
+    /// Remaining-predecessor counters, one per node.
+    pending: Vec<AtomicU32>,
+    /// CSR successor offsets (copied from the `DepGraph`).
+    succ_off: Vec<u32>,
+    /// CSR successor lists.
+    succ: Vec<u32>,
+    /// Per-participant ready deques.
+    deques: Vec<Mutex<VecDeque<u32>>>,
+    /// Hands out deque slots to joining participants.
+    participants: AtomicUsize,
+    /// Completed nodes; the graph is finished when this reaches `n`.
+    done: AtomicUsize,
+    /// Set when `done == n`; idle participants park on it.
+    idle: Mutex<bool>,
+    /// Paired with `idle`: signalled on every ready push and at completion.
+    idle_cv: Condvar,
+}
+
+// SAFETY: same contract as `Job` — `func` is only dereferenced while the
+// publishing caller provably waits inside `run_dataflow`.
+unsafe impl Send for DataflowJob {}
+unsafe impl Sync for DataflowJob {}
+
+impl DataflowJob {
+    /// Participate until every node of the graph has completed. Because the
+    /// return condition is `done == n` (not "nothing left to claim"), the
+    /// publishing caller's own `help` doubles as the single join.
+    ///
+    /// `charge_idle` selects whether idle parks bill the `BarrierWait`
+    /// *phase timer*: true for the publishing caller only. `run_batch`
+    /// charges exactly one side too (the caller's straggler wait; its pool
+    /// workers park on the board unbilled), so the profiled barrier-wait
+    /// shares of the diagonal and dataflow executors compare like with
+    /// like. Every park still emits a `BarrierWait` *trace span* regardless
+    /// — the wait histogram keeps seeing worker idleness.
+    fn help(&self, charge_idle: bool) {
+        let me = self.participants.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        loop {
+            match self.claim(me) {
+                Some(i) => self.run_node(me, i as usize),
+                None => {
+                    if self.done.load(Ordering::Acquire) == self.n {
+                        return;
+                    }
+                    self.idle_wait(charge_idle);
+                }
+            }
+        }
+    }
+
+    /// Pop from our own deque (newest first), else steal round-robin from
+    /// the other participants (oldest first).
+    ///
+    /// Stealing prefers victims holding **two or more** ready nodes —
+    /// taking an owner's last node strands it at its very next claim, which
+    /// on an oversubscribed machine means the victim (often the publishing
+    /// caller) parks behind the thief's timeslice. Singletons are still
+    /// taken as a second pass: roots are seeded round-robin across every
+    /// deque slot, so a node in a slot whose participant never woke must
+    /// remain claimable by everyone else.
+    fn claim(&self, me: usize) -> Option<u32> {
+        if let Some(i) = self.deques[me].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+        let k = self.deques.len();
+        for off in 1..k {
+            let mut d = self.deques[(me + off) % k].lock().unwrap();
+            if d.len() >= 2 {
+                let i = d.pop_front().expect("len >= 2");
+                drop(d);
+                obs::add(obs::Counter::DataflowSteals, 1);
+                return Some(i);
+            }
+        }
+        for off in 1..k {
+            if let Some(i) = self.deques[(me + off) % k].lock().unwrap().pop_front() {
+                obs::add(obs::Counter::DataflowSteals, 1);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn run_node(&self, me: usize, i: usize) {
+        // SAFETY: done < n ⇒ the publishing caller is still parked in its
+        // own `help` call inside `run_dataflow`, keeping `func` alive.
+        unsafe { (*self.func)(i) };
+        obs::add(obs::Counter::ParTasks, 1);
+        let (s0, s1) = (self.succ_off[i] as usize, self.succ_off[i + 1] as usize);
+        let mut pushed = 0u64;
+        for &s in &self.succ[s0..s1] {
+            if self.pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut d = self.deques[me].lock().unwrap();
+                d.push_back(s);
+                let surplus = d.len() > 1;
+                drop(d);
+                pushed += 1;
+                // Wake a parked participant only when there is more here
+                // than this participant will claim itself next (it pops its
+                // own deque back first): waking a thief for a node the
+                // pusher is about to run just creates contention — and on
+                // an oversubscribed machine, a thief the caller must then
+                // wait behind. Parked participants re-check on a bounded
+                // timeout anyway, so a skipped wakeup never strands work.
+                if surplus {
+                    self.idle_cv.notify_one();
+                }
+            }
+        }
+        if pushed > 0 {
+            obs::add(obs::Counter::DataflowReady, pushed);
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            let mut fin = self.idle.lock().unwrap();
+            *fin = true;
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Park until a ready push or graph completion. A push can race past a
+    /// participant between its failed `claim` and this wait; the timeout
+    /// turns that lost wakeup into a bounded re-check, never a hang.
+    ///
+    /// The timeout backs off exponentially (1 ms → 16 ms): the normal
+    /// wake-up path is the `notify` on every ready push, so a longer guard
+    /// interval costs nothing when work arrives — but it keeps surplus
+    /// participants on an oversubscribed machine from waking on every
+    /// timeslice to steal work the running participant would finish sooner
+    /// itself.
+    fn idle_wait(&self, charge_idle: bool) {
+        let wait = charge_idle.then(|| obs::start(obs::Phase::BarrierWait));
+        let wait_sp =
+            obs::trace::span(obs::trace::SpanKind::BarrierWait, obs::trace::SpanArgs::none());
+        let mut timeout_ms = 1u64;
+        let mut fin = self.idle.lock().unwrap();
+        while !*fin && self.done.load(Ordering::Acquire) != self.n && !self.any_ready() {
+            let (guard, timed_out) = self
+                .idle_cv
+                .wait_timeout(fin, std::time::Duration::from_millis(timeout_ms))
+                .unwrap();
+            fin = guard;
+            if timed_out.timed_out() {
+                timeout_ms = (timeout_ms * 2).min(16);
+            }
+        }
+        drop(fin);
+        wait_sp.stop();
+        if let Some(w) = wait {
+            w.stop();
+        }
+    }
+
+    /// True when any deque holds a ready node. Takes deque locks while
+    /// holding `idle` — safe because pushers never take `idle` while
+    /// holding a deque lock (completion takes `idle` alone).
+    fn any_ready(&self) -> bool {
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+}
+
+/// Run `f(node)` once for every node of `graph`, never starting a node
+/// before all its predecessors returned, with up to `policy`'s thread
+/// budget (the caller always participates). Returns only when every node
+/// completed — the one join of the whole sweep.
+///
+/// The graph must be acyclic: nodes on a cycle never become ready, so the
+/// sequential path panics and the parallel path would spin on its idle
+/// timeout forever. Validate with `legality::check_dataflow_dependencies`
+/// (in `tempest-tiling`) when in doubt.
+pub fn run_dataflow<F>(policy: Policy, graph: &DepGraph, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    let n = graph.len();
+    if n == 0 {
+        return;
+    }
+    let p = pool();
+    let pol = effective(policy, n);
+    let cap = cap_of(pol);
+    if pol == Policy::Sequential || n == 1 || cap <= 1 || p.workers == 0 {
+        run_dataflow_seq(graph, &f);
+        return;
+    }
+    let parts = cap.min(p.workers + 1);
+    let job = Arc::new(DataflowJob {
+        // Lifetime erased under the same argument as `run_batch`: this
+        // function returns only after its own `help` observes `done == n`.
+        func: unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                &f as *const _,
+            )
+        },
+        n,
+        pending: graph.pred_count.iter().map(|&c| AtomicU32::new(c)).collect(),
+        succ_off: graph.succ_off.clone(),
+        succ: graph.succ.clone(),
+        deques: (0..parts).map(|_| Mutex::new(VecDeque::new())).collect(),
+        participants: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        idle: Mutex::new(false),
+        idle_cv: Condvar::new(),
+    });
+    // Seed the roots round-robin so participants start with local work
+    // instead of all stealing from deque 0.
+    let mut roots = 0u64;
+    for i in 0..n {
+        if graph.pred_count[i] == 0 {
+            job.deques[roots as usize % parts]
+                .lock()
+                .unwrap()
+                .push_back(i as u32);
+            roots += 1;
+        }
+    }
+    assert!(roots > 0, "dataflow graph has no roots (dependency cycle)");
+    obs::add(obs::Counter::DataflowReady, roots);
+    {
+        let mut slot = p.board.slot.lock().unwrap();
+        slot.0 += 1;
+        slot.1 = Some((Work::Dataflow(Arc::clone(&job)), cap));
+        p.board.cv.notify_all();
+    }
+    obs::add(obs::Counter::ParPublications, 1);
+    // The caller works too; for dataflow, `help` returning *is* the join,
+    // and the caller is the one participant whose idle bills `BarrierWait`.
+    job.help(true);
+    debug_assert_eq!(job.done.load(Ordering::Acquire), n);
+}
+
+/// Sequential dataflow: a Kahn worklist in FIFO order. Emits the same
+/// deterministic counters as the parallel path (`ParTasks` and
+/// `DataflowReady` both equal the node count — every node becomes ready
+/// exactly once), so exact-count oracles agree across policies.
+fn run_dataflow_seq(graph: &DepGraph, f: &dyn Fn(usize)) {
+    let n = graph.len();
+    let mut pending = graph.pred_count.clone();
+    let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| pending[i as usize] == 0).collect();
+    let mut ran = 0usize;
+    while let Some(i) = ready.pop_front() {
+        f(i as usize);
+        ran += 1;
+        for &s in graph.succs(i as usize) {
+            pending[s as usize] -= 1;
+            if pending[s as usize] == 0 {
+                ready.push_back(s);
+            }
+        }
+    }
+    assert_eq!(
+        ran, n,
+        "dataflow graph has a dependency cycle: only {ran} of {n} nodes reachable"
+    );
+    obs::add(obs::Counter::ParTasks, ran as u64);
+    obs::add(obs::Counter::DataflowReady, ran as u64);
 }
 
 /// Resolve a policy to Sequential / a thread cap for `n` items.
@@ -516,6 +897,123 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Layered synthetic DAG: node `i` depends on a few nodes from the
+    /// previous layer. Deterministic, with fan-in, fan-out and multiple
+    /// roots — shaped like a wavefront tile graph.
+    fn layered_dag(layers: usize, width: usize) -> Vec<Vec<u32>> {
+        let n = layers * width;
+        let mut preds = vec![Vec::new(); n];
+        for l in 1..layers {
+            for w in 0..width {
+                let i = l * width + w;
+                for dw in [0usize, 1, width - 1] {
+                    let p = ((l - 1) * width + (w + dw) % width) as u32;
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    /// Run the graph and assert every node ran exactly once, strictly after
+    /// all of its predecessors.
+    fn check_dataflow(policy: Policy, preds: &[Vec<u32>]) {
+        let graph = DepGraph::from_preds(preds);
+        let done: Vec<AtomicUsize> = (0..preds.len()).map(|_| AtomicUsize::new(0)).collect();
+        run_dataflow(policy, &graph, |i| {
+            for &p in &preds[i] {
+                assert_eq!(
+                    done[p as usize].load(Ordering::Acquire),
+                    1,
+                    "node {i} started before predecessor {p} finished"
+                );
+            }
+            done[i].fetch_add(1, Ordering::Release);
+        });
+        assert!(done.iter().all(|d| d.load(Ordering::Acquire) == 1));
+    }
+
+    #[test]
+    fn dep_graph_csr_is_consistent() {
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let g = DepGraph::from_preds(&preds);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.pred_count(0), 0);
+        assert_eq!(g.pred_count(3), 2);
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.succs(1), &[3]);
+        assert_eq!(g.succs(2), &[3]);
+        assert_eq!(g.succs(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dataflow_respects_dependencies_across_policies() {
+        let preds = layered_dag(12, 16);
+        for policy in [
+            Policy::Sequential,
+            Policy::Parallel,
+            Policy::Capped { threads: 2 },
+            Policy::Capped { threads: 4 },
+            Policy::default(),
+        ] {
+            check_dataflow(policy, &preds);
+        }
+    }
+
+    #[test]
+    fn dataflow_chain_is_fully_serial() {
+        // Worst case for stealing: exactly one node ready at any moment.
+        let preds: Vec<Vec<u32>> = (0..64)
+            .map(|i| if i == 0 { vec![] } else { vec![i as u32 - 1] })
+            .collect();
+        check_dataflow(Policy::Parallel, &preds);
+    }
+
+    #[test]
+    fn dataflow_trivial_graphs() {
+        check_dataflow(Policy::Parallel, &[]);
+        check_dataflow(Policy::Parallel, &[vec![]]);
+        // All-roots graph (no edges at all) degenerates to a flat batch.
+        check_dataflow(Policy::Parallel, &vec![vec![]; 40]);
+    }
+
+    #[test]
+    fn dataflow_repeated_dispatches_are_stable() {
+        let preds = layered_dag(4, 8);
+        for _ in 0..100 {
+            check_dataflow(Policy::Parallel, &preds);
+        }
+    }
+
+    #[test]
+    fn dataflow_nested_batch_dispatch_does_not_deadlock() {
+        let preds = layered_dag(3, 4);
+        let graph = DepGraph::from_preds(&preds);
+        let total = AtomicUsize::new(0);
+        run_dataflow(Policy::Parallel, &graph, |_| {
+            let inner: Vec<usize> = (0..8).collect();
+            for_each(Policy::Parallel, &inner, |&v| {
+                total.fetch_add(v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 12 * 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn dataflow_cycle_is_rejected_sequentially() {
+        let graph = DepGraph::from_preds(&[vec![1], vec![0], vec![]]);
+        run_dataflow(Policy::Sequential, &graph, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid predecessor")]
+    fn dep_graph_rejects_self_edge() {
+        let _ = DepGraph::from_preds(&[vec![0]]);
     }
 
     #[test]

@@ -26,12 +26,24 @@ pub struct Candidate {
     /// Use the diagonal-parallel tile executor instead of slab-ordered
     /// execution (same tile geometry, coarser parallel grain).
     pub diagonal: bool,
+    /// Use the dependency-driven (dataflow) tile executor: same tile
+    /// geometry, whole-sweep work stealing with a single join instead of
+    /// per-diagonal barriers. Mutually exclusive with `diagonal`.
+    pub dataflow: bool,
 }
 
 impl Candidate {
     /// The same tile geometry with the diagonal-parallel executor.
     pub fn with_diagonal(mut self) -> Self {
         self.diagonal = true;
+        self.dataflow = false;
+        self
+    }
+
+    /// The same tile geometry with the dataflow executor.
+    pub fn with_dataflow(mut self) -> Self {
+        self.dataflow = true;
+        self.diagonal = false;
         self
     }
 }
@@ -40,13 +52,14 @@ impl std::fmt::Display for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "tile {}x{} t{} / block {}x{}{}",
+            "tile {}x{} t{} / block {}x{}{}{}",
             self.tile_x,
             self.tile_y,
             self.tile_t,
             self.block_x,
             self.block_y,
-            if self.diagonal { " / diag" } else { "" }
+            if self.diagonal { " / diag" } else { "" },
+            if self.dataflow { " / dflow" } else { "" }
         )
     }
 }
@@ -58,6 +71,19 @@ pub fn with_diagonal_variants(cands: &[Candidate]) -> Vec<Candidate> {
     for &c in cands {
         out.push(c);
         out.push(c.with_diagonal());
+    }
+    out
+}
+
+/// Duplicate each candidate with the dataflow executor enabled, so a sweep
+/// compares barrier-free execution over the same tile geometries. Input
+/// candidates already using another tile executor keep their geometry but
+/// the variant still switches to dataflow (the flags are exclusive).
+pub fn with_dataflow_variants(cands: &[Candidate]) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(cands.len() * 2);
+    for &c in cands {
+        out.push(c);
+        out.push(c.with_dataflow());
     }
     out
 }
@@ -132,6 +158,7 @@ pub fn default_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candid
                     block_x: bx,
                     block_y: bx,
                     diagonal: false,
+                    dataflow: false,
                 });
             }
         }
@@ -154,6 +181,7 @@ pub fn quick_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candidat
                 block_x: 8,
                 block_y: 8,
                 diagonal: false,
+                dataflow: false,
             });
         }
     }
@@ -279,9 +307,14 @@ mod tests {
             block_x: 8,
             block_y: 8,
             diagonal: false,
+            dataflow: false,
         };
         assert_eq!(format!("{c}"), "tile 64x64 t8 / block 8x8");
         assert_eq!(format!("{}", c.with_diagonal()), "tile 64x64 t8 / block 8x8 / diag");
+        assert_eq!(format!("{}", c.with_dataflow()), "tile 64x64 t8 / block 8x8 / dflow");
+        // The executor flags are exclusive: switching one clears the other.
+        assert!(!c.with_diagonal().with_dataflow().diagonal);
+        assert!(!c.with_dataflow().with_diagonal().dataflow);
     }
 
     #[test]
@@ -295,6 +328,19 @@ mod tests {
             let (a, b) = (pair[0], pair[1]);
             assert!(!a.diagonal && b.diagonal);
             assert_eq!(a.with_diagonal(), b);
+        }
+    }
+
+    #[test]
+    fn dataflow_variants_double_the_sweep() {
+        let base = quick_candidates(64, 64, &[4, 8]);
+        let both = with_dataflow_variants(&base);
+        assert_eq!(both.len(), 2 * base.len());
+        assert_eq!(both.iter().filter(|c| c.dataflow).count(), base.len());
+        for pair in both.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(!a.dataflow && b.dataflow && !b.diagonal);
+            assert_eq!(a.with_dataflow(), b);
         }
     }
 

@@ -18,7 +18,7 @@
 //!    `vt − 1` value it must read has been overwritten (Fig. 7's "the green
 //!    value substitutes the yellow one" is only safe behind the wave-front).
 
-use crate::wavefront::{diagonals, tile_slab, Slab, Tile, WavefrontSpec};
+use crate::wavefront::{diagonals, tile_graph, tile_slab, Slab, Tile, WavefrontSpec};
 use tempest_grid::{Array2, Shape};
 
 /// Dependency model of a propagator for legality checking.
@@ -184,6 +184,73 @@ fn xy_overlap(a: &Slab, b: &Slab) -> bool {
         && b.range.y0 < a.range.y1
 }
 
+/// A slab grown by the stencil radius in x and y, clamped to the grid —
+/// the footprint its step *reads* at the previous virtual step.
+fn dilate(shape: Shape, r: usize, s: &Slab) -> Slab {
+    Slab {
+        vt: s.vt,
+        range: tempest_grid::Range3::new(
+            (s.range.x0.saturating_sub(r), (s.range.x1 + r).min(shape.nx)),
+            (s.range.y0.saturating_sub(r), (s.range.y1 + r).min(shape.ny)),
+            (s.range.z0, s.range.z1),
+        ),
+    }
+}
+
+/// May tiles `a` and `b` run concurrently with *no ordering between them*?
+///
+/// The slot-aware pairwise test shared by [`check_diagonal_independence`]
+/// and [`check_dataflow_dependencies`]. Concurrency means tile A executing
+/// step `va` may coincide with tile B at any step `vb`. Writing step `v`
+/// targets ring slot `v mod levels` and reading step `v` touches every
+/// *other* slot, so for each `(va, vb)` pair:
+///
+/// * `va ≡ vb (mod levels)` — only a write/write overlap on the shared slot
+///   could race, so the two write footprints must be spatially disjoint;
+/// * otherwise — B writes a slot among A's reads, so B's write footprint
+///   must miss A's read footprint (its slab dilated by `radius`).
+///
+/// Checks actual clamped footprints (certifying boundary tiles); clamping
+/// only shrinks regions and can never create an overlap the unclamped
+/// geometry excludes.
+fn tile_pair_conflict(
+    shape: Shape,
+    model: DepModel,
+    spec: &WavefrontSpec,
+    a: &Tile,
+    b: &Tile,
+) -> Option<DiagonalConflict> {
+    for (a, b) in [(a, b), (b, a)] {
+        for va in a.t0..a.t1 {
+            let Some(sa) = tile_slab(shape, spec, a, va) else {
+                continue;
+            };
+            let ra = dilate(shape, model.radius, &sa);
+            for vb in b.t0..b.t1 {
+                let Some(sb) = tile_slab(shape, spec, b, vb) else {
+                    continue;
+                };
+                let write_write = va % model.levels == vb % model.levels;
+                let conflict = if write_write {
+                    xy_overlap(&sa, &sb)
+                } else {
+                    xy_overlap(&ra, &sb)
+                };
+                if conflict {
+                    return Some(DiagonalConflict {
+                        tile_a: *a,
+                        vt_a: va,
+                        tile_b: *b,
+                        vt_b: vb,
+                        write_write,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Verify that every pair of same-diagonal tiles under `spec` is
 /// dependency-disjoint — the soundness condition of
 /// [`crate::wavefront::execute_diagonal`].
@@ -214,52 +281,125 @@ pub fn check_diagonal_independence(
     spec: &WavefrontSpec,
 ) -> Result<(), DiagonalConflict> {
     assert!(model.levels >= 2, "time buffers have at least 2 levels");
-    let r = model.radius;
-    let dilate = |s: &Slab| Slab {
-        vt: s.vt,
-        range: tempest_grid::Range3::new(
-            (s.range.x0.saturating_sub(r), (s.range.x1 + r).min(shape.nx)),
-            (s.range.y0.saturating_sub(r), (s.range.y1 + r).min(shape.ny)),
-            (s.range.z0, s.range.z1),
-        ),
-    };
     let mut t0 = 0usize;
     while t0 < nvt {
         let t1 = (t0 + spec.tile_t).min(nvt);
         for group in diagonals(shape, spec, t0, t1) {
             for (i, a) in group.iter().enumerate() {
                 for b in &group[i + 1..] {
-                    for (a, b) in [(a, b), (b, a)] {
-                        for va in a.t0..a.t1 {
-                            let Some(sa) = tile_slab(shape, spec, a, va) else {
-                                continue;
-                            };
-                            let ra = dilate(&sa);
-                            for vb in b.t0..b.t1 {
-                                let Some(sb) = tile_slab(shape, spec, b, vb) else {
-                                    continue;
-                                };
-                                let conflict = if va % model.levels == vb % model.levels {
-                                    xy_overlap(&sa, &sb)
-                                } else {
-                                    xy_overlap(&ra, &sb)
-                                };
-                                if conflict {
-                                    return Err(DiagonalConflict {
-                                        tile_a: *a,
-                                        vt_a: va,
-                                        tile_b: *b,
-                                        vt_b: vb,
-                                        write_write: va % model.levels == vb % model.levels,
-                                    });
-                                }
-                            }
-                        }
+                    if let Some(c) = tile_pair_conflict(shape, model, spec, a, b) {
+                        return Err(c);
                     }
                 }
             }
         }
         t0 = t1;
+    }
+    Ok(())
+}
+
+/// A violation of the dataflow schedule's soundness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowViolation {
+    /// The dependency graph is cyclic — this tile can never become ready.
+    /// Only reachable for `skew < radius`, where same-row neighbours read
+    /// each other's previous step in both directions.
+    Cycle {
+        /// A tile left with unsatisfiable predecessors.
+        tile: Tile,
+    },
+    /// A topological serialisation of the graph fails the replay oracle —
+    /// the predecessor sets miss a flow dependency.
+    Replay(Violation),
+    /// Two tiles the graph leaves unordered (neither is an ancestor of the
+    /// other, so they may run concurrently) have conflicting footprints.
+    Unordered(DiagonalConflict),
+}
+
+/// Validate the predecessor sets [`tile_graph`] builds for `spec` against
+/// the replay oracle — the soundness condition of
+/// [`crate::wavefront::execute_dataflow`].
+///
+/// Three facts together certify *every* execution order the dataflow
+/// executor can produce:
+///
+/// 1. the graph is acyclic (Kahn's algorithm consumes every node);
+/// 2. one topological serialisation replays cleanly through
+///    [`check_schedule`] — so that particular order is legal;
+/// 3. every *unordered* pair of tiles passes the slot-aware pairwise
+///    conflict test — so adjacent tiles in any legal order commute, and
+///    every other topological order replays identically.
+///
+/// Point 3 is also where ring-buffer anti-dependencies are discharged: the
+/// graph carries only flow edges (overwrite hazards are transitively
+/// implied by chains of them), and this check machine-verifies that claim
+/// for the given `model.levels` rather than trusting the argument.
+pub fn check_dataflow_dependencies(
+    shape: Shape,
+    nvt: usize,
+    model: DepModel,
+    spec: &WavefrontSpec,
+) -> Result<(), DataflowViolation> {
+    assert!(model.levels >= 2, "time buffers have at least 2 levels");
+    let (tiles, preds) = tile_graph(shape, nvt, spec, model.radius);
+    let n = tiles.len();
+    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p as usize].push(i as u32);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<u32> =
+        (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &s in &succs[i as usize] {
+            indeg[s as usize] -= 1;
+            if indeg[s as usize] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle has a stuck node");
+        return Err(DataflowViolation::Cycle { tile: tiles[stuck] });
+    }
+    let mut sched = Vec::new();
+    for &i in &order {
+        let t = &tiles[i as usize];
+        for vt in t.t0..t.t1 {
+            if let Some(s) = tile_slab(shape, spec, t, vt) {
+                sched.push(s);
+            }
+        }
+    }
+    check_schedule(shape, nvt, model, sched).map_err(DataflowViolation::Replay)?;
+    // Ancestor closure as bitsets, in topological order.
+    let words = n.div_ceil(64);
+    let mut anc = vec![0u64; n * words];
+    for &i in &order {
+        let i = i as usize;
+        for &p in &preds[i] {
+            let p = p as usize;
+            for w in 0..words {
+                let v = anc[p * words + w];
+                anc[i * words + w] |= v;
+            }
+            anc[i * words + p / 64] |= 1u64 << (p % 64);
+        }
+    }
+    let is_anc = |x: usize, of: usize| (anc[of * words + x / 64] >> (x % 64)) & 1 == 1;
+    for i in 0..n {
+        for j in i + 1..n {
+            if is_anc(i, j) || is_anc(j, i) {
+                continue;
+            }
+            if let Some(c) = tile_pair_conflict(shape, model, spec, &tiles[i], &tiles[j]) {
+                return Err(DataflowViolation::Unordered(c));
+            }
+        }
     }
     Ok(())
 }
@@ -518,6 +658,125 @@ mod tests {
                 check_diagonal_independence(shape, 8, model, &spec).is_err(),
                 "case {case}: skew {skew} < radius {radius} must conflict ({spec:?})"
             );
+        }
+    }
+
+    #[test]
+    fn dataflow_dependencies_legal_for_sufficient_skew() {
+        for radius in [0usize, 1, 2, 4] {
+            for levels in [2usize, 3] {
+                for tile_t in [1usize, 2, 4, 8] {
+                    let spec = WavefrontSpec::new(8, 8, tile_t, radius.max(1), 4, 4);
+                    assert_eq!(
+                        check_dataflow_dependencies(SHAPE, 9, DepModel { radius, levels }, &spec),
+                        Ok(()),
+                        "radius {radius} levels {levels} tile_t {tile_t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_dependencies_reject_shallow_skew() {
+        // skew < radius makes same-row neighbours read each other's previous
+        // step in both directions: a dependency cycle.
+        let spec = WavefrontSpec::new(8, 8, 4, 1, 4, 4);
+        let model = DepModel {
+            radius: 2,
+            levels: 3,
+        };
+        let res = check_dataflow_dependencies(SHAPE, 9, model, &spec);
+        assert!(
+            matches!(res, Err(DataflowViolation::Cycle { .. })),
+            "{res:?}"
+        );
+    }
+
+    /// Brute-force predecessor sets by definition: B precedes A iff for some
+    /// step `va ≥ 1` of A, B's slab at `va - 1` intersects the dilated
+    /// footprint of A's slab at `va`.
+    fn brute_force_preds(
+        shape: Shape,
+        spec: &WavefrontSpec,
+        radius: usize,
+        tiles: &[Tile],
+    ) -> Vec<Vec<u32>> {
+        let mut preds = vec![Vec::new(); tiles.len()];
+        for (ia, a) in tiles.iter().enumerate() {
+            for (ib, b) in tiles.iter().enumerate() {
+                if ia == ib {
+                    continue;
+                }
+                'pair: for va in a.t0.max(1)..a.t1 {
+                    let vb = va - 1;
+                    if !(b.t0..b.t1).contains(&vb) {
+                        continue;
+                    }
+                    let (Some(sa), Some(sb)) = (
+                        tile_slab(shape, spec, a, va),
+                        tile_slab(shape, spec, b, vb),
+                    ) else {
+                        continue;
+                    };
+                    if xy_overlap(&dilate(shape, radius, &sa), &sb) {
+                        preds[ia].push(ib as u32);
+                        break 'pair;
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    #[test]
+    fn tile_graph_preds_are_exactly_the_halo_writers() {
+        // Property test (satellite): every tile's predecessor set equals the
+        // brute-force "slabs overlapping its read halo one step earlier"
+        // set, across randomised specs — boundary tiles, clipped rows and
+        // tile_t = 1 included — and the whole graph passes the replay-backed
+        // dataflow validator.
+        let mut rng = tempest_grid::Rng64::new(0xDF10);
+        for case in 0..40 {
+            let radius = rng.range_usize(0, 4);
+            let levels = rng.range_usize(2, 4);
+            let tile = rng.range_usize(2, 12);
+            let tile_t = rng.range_usize(1, 6);
+            let skew = radius + rng.range_usize(0, 3);
+            let nvt = rng.range_usize(1, 9);
+            let shape = Shape::new(rng.range_usize(8, 28), rng.range_usize(8, 28), 2);
+            let spec = WavefrontSpec::new(tile, tile, tile_t, skew, 4, 4);
+            let (tiles, preds) = tile_graph(shape, nvt, &spec, radius);
+            let expect = brute_force_preds(shape, &spec, radius, &tiles);
+            assert_eq!(
+                preds, expect,
+                "case {case}: {spec:?} radius {radius} nvt {nvt} shape {shape:?}"
+            );
+            assert_eq!(
+                check_dataflow_dependencies(shape, nvt, DepModel { radius, levels }, &spec),
+                Ok(()),
+                "case {case}: {spec:?} radius {radius} levels {levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_graph_tile_t_one_links_consecutive_steps() {
+        // tile_t = 1 degenerates to space blocking: each row is one step,
+        // and a tile's preds are its own cell plus radius-neighbours in the
+        // previous row.
+        let spec = WavefrontSpec::new(8, 8, 1, 1, 4, 4);
+        let (tiles, preds) = tile_graph(SHAPE, 3, &spec, 1);
+        for (ia, a) in tiles.iter().enumerate() {
+            if a.t0 == 0 {
+                assert!(preds[ia].is_empty());
+            } else {
+                // Own predecessor cell is always among the preds.
+                assert!(preds[ia]
+                    .iter()
+                    .map(|&ib| &tiles[ib as usize])
+                    .any(|b| b.xt == a.xt && b.yt == a.yt && b.t1 == a.t0));
+            }
         }
     }
 

@@ -24,17 +24,23 @@
 //! second reading same-timestep values of the first — Fig. 8b) map each
 //! phase to its own virtual step, which automatically widens the skew.
 //!
-//! The wave-front schedule has two executors: slab-ordered
+//! The wave-front schedule has three executors: slab-ordered
 //! ([`wavefront::execute`]) parallelises the blocks of one slab between
-//! barriers, while diagonal-parallel ([`wavefront::execute_diagonal`]) runs
+//! barriers; diagonal-parallel ([`wavefront::execute_diagonal`]) runs
 //! whole same-anti-diagonal space-time tiles concurrently with one barrier
 //! per diagonal — a coarser grain with ~`tile_t×` fewer synchronisation
-//! points and bitwise-identical results.
+//! points; and dataflow ([`wavefront::execute_dataflow`]) drops the
+//! per-diagonal barriers too, running the exact tile dependency graph
+//! ([`wavefront::tile_graph`]) under dependency counters and per-worker
+//! stealing deques with a single join per sweep. All three produce
+//! bitwise-identical wavefields.
 //!
 //! [`legality`] provides a dependency checker that validates any schedule
 //! against the stencil's radius and the circular time-buffer depth
 //! (including the tile-disjointness proof obligation of the diagonal
-//! executor, [`legality::check_diagonal_independence`]), and
+//! executor, [`legality::check_diagonal_independence`], and the
+//! predecessor-set soundness proof of the dataflow executor,
+//! [`legality::check_dataflow_dependencies`]), and
 //! [`autotune()`](autotune()) sweeps tile/block shapes (§IV.C, Table I).
 
 pub mod autotune;
@@ -43,8 +49,8 @@ pub mod spaceblock;
 pub mod wavefront;
 
 pub use autotune::{
-    autotune, autotune_measured, with_diagonal_variants, Candidate, MeasuredResult, Measurement,
-    TuneResult,
+    autotune, autotune_measured, with_dataflow_variants, with_diagonal_variants, Candidate,
+    MeasuredResult, Measurement, TuneResult,
 };
 pub use spaceblock::SpaceBlockSpec;
 pub use wavefront::{Slab, Tile, WavefrontSpec};

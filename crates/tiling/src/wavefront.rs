@@ -34,6 +34,19 @@
 //! of synchronisation points by roughly `tile_t×` while keeping the
 //! wavefield bitwise identical (each pencil is still computed whole, in the
 //! same z-order, with the same fused sparse work at the same `vt`).
+//!
+//! [`execute_dataflow`] removes the per-diagonal barriers as well: the
+//! space-time tiles of the *whole sweep* become nodes of a dependency graph
+//! ([`tile_graph`]) whose edges are the exact stencil flow dependencies
+//! (tile B precedes tile A iff some slab of B at step `va - 1` intersects
+//! the `radius`-dilated footprint of A's slab at step `va`), and
+//! `tempest_par::run_dataflow` drives it with dependency counters and
+//! per-worker deques — the only global synchronisation left is one join at
+//! the end of the sweep. Anti-dependencies (ring-buffer overwrites) are
+//! transitively implied by the flow edges, which
+//! [`crate::legality::check_dataflow_dependencies`] verifies per spec.
+
+use std::collections::HashMap;
 
 use tempest_grid::{Range3, Shape};
 use tempest_obs as obs;
@@ -151,20 +164,44 @@ pub fn tile_slab(shape: Shape, spec: &WavefrontSpec, tile: &Tile, vt: usize) -> 
     })
 }
 
-/// Visit every space-time tile in the sequential execution order: time
-/// tiles outermost, spatial tiles in lexicographic `(xt, yt)` order.
+/// True when the tile contributes at least one non-empty slab. Boundary
+/// tiles exist only to cover the *skewed* index space, so near domain edges
+/// a tile can be fully clipped at every step of its row — especially in the
+/// last time row, whose smaller height accumulates less skew. Running such
+/// a tile is pure overhead (a zero-work span in traces).
+pub fn tile_has_work(shape: Shape, spec: &WavefrontSpec, tile: &Tile) -> bool {
+    (tile.t0..tile.t1).any(|vt| tile_slab(shape, spec, tile, vt).is_some())
+}
+
+/// Spatial tile counts needed for one time row of height `h` virtual steps.
+/// A row shorter than `tile_t` (the clipped last row) accumulates only
+/// `(h - 1) * skew` of shift, so the global [`WavefrontSpec::tiles_x`]
+/// bound over-covers it: every tile with `xt * tile_x ≥ nx + (h - 1) * skew`
+/// starts past the grid at every step of the row and can be dropped before
+/// enumeration (likewise along y).
+fn row_tiles(shape: Shape, spec: &WavefrontSpec, h: usize) -> (usize, usize) {
+    let ntx = (shape.nx + (h - 1) * spec.skew).div_ceil(spec.tile_x);
+    let nty = (shape.ny + (h - 1) * spec.skew).div_ceil(spec.tile_y);
+    (ntx, nty)
+}
+
+/// Visit every space-time tile with work in the sequential execution order:
+/// time tiles outermost, spatial tiles in lexicographic `(xt, yt)` order.
+/// Fully-clipped boundary tiles (see [`tile_has_work`]) are skipped.
 pub fn for_each_tile<F>(shape: Shape, nvt: usize, spec: &WavefrontSpec, mut f: F)
 where
     F: FnMut(&Tile),
 {
-    let ntx = spec.tiles_x(shape.nx);
-    let nty = spec.tiles_y(shape.ny);
     let mut t0 = 0usize;
     while t0 < nvt {
         let t1 = (t0 + spec.tile_t).min(nvt);
+        let (ntx, nty) = row_tiles(shape, spec, t1 - t0);
         for xt in 0..ntx {
             for yt in 0..nty {
-                f(&Tile { xt, yt, t0, t1 });
+                let tile = Tile { xt, yt, t0, t1 };
+                if tile_has_work(shape, spec, &tile) {
+                    f(&tile);
+                }
             }
         }
         t0 = t1;
@@ -234,16 +271,24 @@ where
     });
 }
 
-/// The tiles of one time tile `[t0, t1)`, grouped by ascending
-/// anti-diagonal: `result[d]` holds every tile with `xt + yt == d`.
+/// The tiles with work of one time tile `[t0, t1)`, grouped by ascending
+/// anti-diagonal: `result[d]` holds every non-empty tile with `xt + yt == d`.
+/// Fully-clipped tiles are dropped, and so are trailing diagonals left empty
+/// by the clipping — the executor never pays a barrier (or emits a span) for
+/// zero work near the domain edge.
 pub fn diagonals(shape: Shape, spec: &WavefrontSpec, t0: usize, t1: usize) -> Vec<Vec<Tile>> {
-    let ntx = spec.tiles_x(shape.nx);
-    let nty = spec.tiles_y(shape.ny);
+    let (ntx, nty) = row_tiles(shape, spec, t1 - t0);
     let mut out = vec![Vec::new(); ntx + nty - 1];
     for xt in 0..ntx {
         for yt in 0..nty {
-            out[xt + yt].push(Tile { xt, yt, t0, t1 });
+            let tile = Tile { xt, yt, t0, t1 };
+            if tile_has_work(shape, spec, &tile) {
+                out[xt + yt].push(tile);
+            }
         }
+    }
+    while out.last().is_some_and(Vec::is_empty) {
+        out.pop();
     }
     out
 }
@@ -266,6 +311,9 @@ where
     while t0 < nvt {
         let t1 = (t0 + spec.tile_t).min(nvt);
         for (d, tiles) in diagonals(shape, spec, t0, t1).into_iter().enumerate() {
+            if tiles.is_empty() {
+                continue;
+            }
             let sw = obs::start(obs::Phase::Diagonal);
             let _dsp = obs::trace::span(
                 obs::trace::SpanKind::Diagonal,
@@ -318,6 +366,169 @@ pub fn diagonal_slabs(shape: Shape, nvt: usize, spec: &WavefrontSpec) -> Vec<Sla
         t0 = t1;
     }
     out
+}
+
+/// xy-plane overlap of two ranges (z is never tiled).
+fn xy_overlap(a: &Range3, b: &Range3) -> bool {
+    a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+}
+
+/// `r` grown by the stencil radius in x and y, clamped to the grid: the
+/// footprint a slab *reads* at the previous virtual step.
+fn dilate_xy(r: &Range3, radius: usize, shape: Shape) -> Range3 {
+    Range3::new(
+        (r.x0.saturating_sub(radius), (r.x1 + radius).min(shape.nx)),
+        (r.y0.saturating_sub(radius), (r.y1 + radius).min(shape.ny)),
+        (0, shape.nz),
+    )
+}
+
+/// Candidate spatial tile indices along one axis whose *unclamped* slab
+/// interval `[xt·tile - off, xt·tile - off + tile)` intersects `[lo, hi)`.
+/// Clamping only shrinks a slab, so this is a superset of the true overlap
+/// set; callers verify each candidate against the clamped slab.
+fn candidate_tiles(lo: usize, hi: usize, tile: usize, off: usize, ntiles: usize) -> std::ops::Range<usize> {
+    let (tile_i, off_i) = (tile as isize, off as isize);
+    // xt·tile - off < hi  ⇔  xt ≤ floor((hi + off - 1) / tile)
+    let max_incl = (hi as isize + off_i - 1).div_euclid(tile_i);
+    // xt·tile - off + tile > lo  ⇔  xt ≥ floor((lo + off - tile) / tile) + 1
+    let min = (lo as isize + off_i - tile_i).div_euclid(tile_i) + 1;
+    let start = min.max(0) as usize;
+    let end = ((max_incl + 1).max(0) as usize).min(ntiles);
+    start..end.max(start)
+}
+
+/// Build the dependency graph of the dataflow schedule.
+///
+/// Nodes are every tile with work across *all* time rows of the sweep, in
+/// [`for_each_tile`] order; `preds[i]` lists the nodes tile `i` truly
+/// depends on. The dependency rule is the stencil's flow dependence: tile B
+/// precedes tile A iff for some virtual step `va` of A (with `va ≥ 1`),
+/// B's slab at `va - 1` intersects the `radius`-dilated footprint of A's
+/// slab at `va` — i.e. B writes values A reads. Within a time row that
+/// yields the ≤ 3 upper-left neighbours (for `skew ≥ radius` a tile's read
+/// halo never reaches a *larger* `(xt, yt)` — the same geometry that makes
+/// anti-diagonals independent); across consecutive rows it links each tile
+/// to the previous-row tiles under its first slab. Anti-dependencies
+/// (ring-buffer overwrites) need no edges of their own: they are implied
+/// transitively by chains of flow edges, which
+/// [`crate::legality::check_dataflow_dependencies`] machine-checks per
+/// spec. Requires `skew ≥ radius`, like every wavefront schedule here —
+/// smaller skews make opposing same-row reads (a dependency cycle).
+pub fn tile_graph(
+    shape: Shape,
+    nvt: usize,
+    spec: &WavefrontSpec,
+    radius: usize,
+) -> (Vec<Tile>, Vec<Vec<u32>>) {
+    let mut tiles = Vec::new();
+    for_each_tile(shape, nvt, spec, |t| tiles.push(*t));
+    // Per-row index: row start t0 -> ((xt, yt) -> node id).
+    let mut rows: Vec<(usize, usize)> = Vec::new();
+    let mut row_maps: Vec<HashMap<(usize, usize), u32>> = Vec::new();
+    for (i, t) in tiles.iter().enumerate() {
+        if rows.last().map(|r| r.0) != Some(t.t0) {
+            rows.push((t.t0, t.t1));
+            row_maps.push(HashMap::new());
+        }
+        row_maps.last_mut().unwrap().insert((t.xt, t.yt), i as u32);
+    }
+    let row_of = |t0: usize| rows.iter().position(|r| r.0 == t0).unwrap();
+
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); tiles.len()];
+    for (ia, a) in tiles.iter().enumerate() {
+        let arow = row_of(a.t0);
+        for va in a.t0.max(1)..a.t1 {
+            let Some(sa) = tile_slab(shape, spec, a, va) else {
+                continue;
+            };
+            let halo = dilate_xy(&sa.range, radius, shape);
+            // The writers of step va - 1 live in A's own row, except at A's
+            // first step where they live in the previous row.
+            let wrow = if va > a.t0 { arow } else { arow - 1 };
+            let (wt0, wt1) = rows[wrow];
+            let vb = va - 1;
+            debug_assert!((wt0..wt1).contains(&vb));
+            let off = (vb - wt0) * spec.skew;
+            let (ntx, nty) = row_tiles(shape, spec, wt1 - wt0);
+            for xt in candidate_tiles(halo.x0, halo.x1, spec.tile_x, off, ntx) {
+                for yt in candidate_tiles(halo.y0, halo.y1, spec.tile_y, off, nty) {
+                    let Some(&ib) = row_maps[wrow].get(&(xt, yt)) else {
+                        continue;
+                    };
+                    if ib as usize == ia {
+                        continue;
+                    }
+                    let b = &tiles[ib as usize];
+                    if tile_slab(shape, spec, b, vb)
+                        .is_some_and(|sb| xy_overlap(&sb.range, &halo))
+                    {
+                        preds[ia].push(ib);
+                    }
+                }
+            }
+        }
+        preds[ia].sort_unstable();
+        preds[ia].dedup();
+    }
+    (tiles, preds)
+}
+
+/// Execute `nvt` virtual steps with dependency-driven (dataflow) wave-front
+/// blocking.
+///
+/// Where [`execute_diagonal`] still raises one barrier per anti-diagonal,
+/// this executor builds the exact tile dependency graph of the whole sweep
+/// ([`tile_graph`]) and hands it to `tempest_par::run_dataflow`: each tile
+/// carries an atomic counter of unfinished predecessors, finishing a tile
+/// decrements its successors and pushes freshly-ready tiles onto per-worker
+/// stealing deques, and the only global synchronisation is one join at the
+/// end. Inside a tile nothing changes — `vt` ascends sequentially and each
+/// slab is cut into `(block_x, block_y)` cache blocks — so the wavefield
+/// stays bitwise identical to every other wavefront schedule.
+///
+/// `radius` must be the stencil's true dependency radius (and `spec.skew ≥
+/// radius`), as it defines the read halo the graph edges are built from.
+pub fn execute_dataflow<S>(
+    shape: Shape,
+    nvt: usize,
+    spec: &WavefrontSpec,
+    radius: usize,
+    policy: Policy,
+    step: S,
+) where
+    S: Fn(usize, &Range3) + Sync + Send,
+{
+    let (tiles, preds) = tile_graph(shape, nvt, spec, radius);
+    let graph = tempest_par::DepGraph::from_preds(&preds);
+    // One caller-side phase/span for the whole sweep — the analogue of the
+    // sum of a run's `Diagonal` phases, so barrier-wait *shares* compare
+    // fairly across the two executors.
+    let sw = obs::start(obs::Phase::Dataflow);
+    let _dsp = obs::trace::span(
+        obs::trace::SpanKind::Dataflow,
+        obs::trace::SpanArgs {
+            t0: 0,
+            t1: nvt as i32,
+            ..Default::default()
+        },
+    );
+    tempest_par::run_dataflow(policy, &graph, |i| {
+        let tile = &tiles[i];
+        let _sp = obs::trace::span(
+            obs::trace::SpanKind::Tile,
+            obs::trace::SpanArgs::tile(tile.diagonal(), tile.xt, tile.yt, tile.t0, tile.t1),
+        );
+        for vt in tile.t0..tile.t1 {
+            if let Some(slab) = tile_slab(shape, spec, tile, vt) {
+                for b in slab.range.split_xy(spec.block_x, spec.block_y) {
+                    step(vt, &b);
+                }
+            }
+        }
+        obs::add(obs::Counter::WavefrontTiles, 1);
+    });
+    sw.stop();
 }
 
 #[cfg(test)]
@@ -543,6 +754,149 @@ mod tests {
         // the emission order must equal the canonical serialisation.
         let expect = diagonal_slabs(shape, nvt, &spec);
         assert_eq!(*seen.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn fully_clipped_tiles_are_skipped() {
+        // tile_x = 5 with skew = 4 on a 23-wide grid: the global bound needs
+        // 7 tiles along x, but the clipped last time row [9, 11) shifts by at
+        // most one skew, so tile xt = 6 (starting at x = 30) never reaches
+        // the grid there.
+        let shape = Shape::new(23, 17, 4);
+        let spec = WavefrontSpec::new(5, 7, 3, 4, 2, 2);
+        let nvt = 11;
+        let mut emitted = Vec::new();
+        for_each_tile(shape, nvt, &spec, |t| emitted.push(*t));
+        assert!(emitted.iter().all(|t| tile_has_work(shape, &spec, t)));
+        // Brute-force over the global (unfiltered) bounds: the emitted set
+        // must be exactly the tiles with work.
+        let ntx = spec.tiles_x(shape.nx);
+        let nty = spec.tiles_y(shape.ny);
+        let mut expect = Vec::new();
+        let mut skipped = 0usize;
+        let mut t0 = 0usize;
+        while t0 < nvt {
+            let t1 = (t0 + spec.tile_t).min(nvt);
+            for xt in 0..ntx {
+                for yt in 0..nty {
+                    let tile = Tile { xt, yt, t0, t1 };
+                    if tile_has_work(shape, &spec, &tile) {
+                        expect.push(tile);
+                    } else {
+                        skipped += 1;
+                    }
+                }
+            }
+            t0 = t1;
+        }
+        assert_eq!(emitted, expect);
+        assert!(skipped > 0, "spec was chosen to produce clipped tiles");
+        // Skipping empty tiles must not change the covered slabs.
+        coverage_exact(shape, nvt, &spec);
+    }
+
+    #[test]
+    fn clipped_row_drops_trailing_diagonals_up_front() {
+        let shape = Shape::new(23, 17, 4);
+        let spec = WavefrontSpec::new(5, 7, 3, 4, 2, 2);
+        let full = diagonals(shape, &spec, 0, 3);
+        // Height-2 last row: fewer tiles fit the smaller skewed extent, so
+        // whole trailing anti-diagonals disappear.
+        let clipped = diagonals(shape, &spec, 9, 11);
+        assert!(clipped.len() < full.len(), "{} vs {}", clipped.len(), full.len());
+        assert!(!clipped.is_empty() && !clipped.last().unwrap().is_empty());
+        for (d, g) in clipped.iter().enumerate() {
+            for t in g {
+                assert_eq!(t.diagonal(), d);
+                assert!(tile_has_work(shape, &spec, t));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_graph_edges_point_backward_in_sequential_order() {
+        let shape = Shape::new(23, 17, 4);
+        for (spec, radius) in [
+            (WavefrontSpec::new(8, 8, 4, 2, 4, 4), 2),
+            (WavefrontSpec::new(5, 7, 3, 4, 2, 2), 3),
+            (WavefrontSpec::new(8, 8, 1, 3, 4, 4), 3), // tile_t = 1
+        ] {
+            let (tiles, preds) = tile_graph(shape, 11, &spec, radius);
+            let mut expect = Vec::new();
+            for_each_tile(shape, 11, &spec, |t| expect.push(*t));
+            assert_eq!(tiles, expect);
+            for (ia, ps) in preds.iter().enumerate() {
+                for &ib in ps {
+                    // Sequential (lexicographic) order is one valid
+                    // topological order, so every edge points backward —
+                    // the graph is acyclic by construction.
+                    assert!((ib as usize) < ia, "edge {ib} -> {ia} not backward");
+                    let (a, b) = (&tiles[ia], &tiles[ib as usize]);
+                    if a.t0 == b.t0 {
+                        // Intra-row flow deps come only from upper-left
+                        // neighbours under skew >= radius.
+                        assert!(b.xt <= a.xt && b.yt <= a.yt);
+                    }
+                }
+            }
+            // Every tile beyond the first row depends on something.
+            let first_t0 = tiles[0].t0;
+            for (ia, t) in tiles.iter().enumerate() {
+                if t.t0 != first_t0 {
+                    assert!(!preds[ia].is_empty(), "row t0={} tile has no preds", t.t0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execute_dataflow_blocks_partition_domain() {
+        let shape = Shape::new(20, 14, 3);
+        let spec = WavefrontSpec::new(8, 8, 3, 2, 3, 4);
+        let nvt = 7;
+        for policy in [Policy::Sequential, Policy::Parallel, Policy::Capped { threads: 2 }] {
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            execute_dataflow(shape, nvt, &spec, 2, policy, |_vt, b| {
+                total.fetch_add(b.len(), std::sync::atomic::Ordering::Relaxed);
+            });
+            assert_eq!(
+                total.load(std::sync::atomic::Ordering::Relaxed),
+                nvt * shape.len()
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_never_steps_a_point_before_its_halo() {
+        // Dynamic check of the flow-dependence rule: when a block advances
+        // to step vt, every point in its radius-dilated halo must have
+        // completed vt - 1 (and the block's own points exactly vt - 1).
+        let shape = Shape::new(23, 17, 2);
+        let spec = WavefrontSpec::new(8, 8, 4, 2, 4, 4);
+        let radius = 2usize;
+        let nvt = 11;
+        let progress = std::sync::Mutex::new(vec![vec![-1i64; shape.ny]; shape.nx]);
+        execute_dataflow(shape, nvt, &spec, radius, Policy::Parallel, |vt, b| {
+            let mut g = progress.lock().unwrap();
+            let want = vt as i64 - 1;
+            for x in b.x0.saturating_sub(radius)..(b.x1 + radius).min(shape.nx) {
+                for y in b.y0.saturating_sub(radius)..(b.y1 + radius).min(shape.ny) {
+                    assert!(g[x][y] >= want, "halo ({x},{y}) at {} < {want}", g[x][y]);
+                }
+            }
+            for x in b.x0..b.x1 {
+                for y in b.y0..b.y1 {
+                    assert_eq!(g[x][y], want, "write point ({x},{y})");
+                    g[x][y] = vt as i64;
+                }
+            }
+        });
+        let g = progress.lock().unwrap();
+        for col in g.iter() {
+            for &v in col {
+                assert_eq!(v, nvt as i64 - 1);
+            }
+        }
     }
 
     #[test]

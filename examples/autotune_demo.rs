@@ -29,10 +29,19 @@ use tempest::tiling::{
     autotune_measured, autotune::default_candidates, with_diagonal_variants, Candidate, Measurement,
 };
 
-/// Schedule for a candidate: slab-ordered or diagonal-parallel wave-front,
-/// per its `diagonal` flag.
+/// Schedule for a candidate: slab-ordered, diagonal-parallel or
+/// dependency-driven dataflow wave-front, per its `diagonal`/`dataflow`
+/// flags.
 fn schedule_of(c: &Candidate) -> Schedule {
-    if c.diagonal {
+    if c.dataflow {
+        Schedule::WavefrontDataflow {
+            tile_x: c.tile_x,
+            tile_y: c.tile_y,
+            tile_t: c.tile_t,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    } else if c.diagonal {
         Schedule::WavefrontDiagonal {
             tile_x: c.tile_x,
             tile_y: c.tile_y,
@@ -63,9 +72,12 @@ fn main() {
     let src = SparsePoints::single_center(&domain, 0.37);
     let mut solver = Acoustic::new(&model, cfg, src, None);
 
-    // Each tile geometry is tried under both wave-front executors
-    // (slab-ordered and diagonal-parallel — "/ diag" in the ranking).
-    let cands = with_diagonal_variants(&default_candidates(n, n, &[4, 8, 16]));
+    // Each tile geometry is tried under all three wave-front executors:
+    // slab-ordered, diagonal-parallel ("/ diag") and dependency-driven
+    // dataflow ("/ dflow") — same bases, no duplicates.
+    let base = default_candidates(n, n, &[4, 8, 16]);
+    let mut cands = with_diagonal_variants(&base);
+    cands.extend(base.iter().map(|c| c.with_dataflow()));
     println!(
         "sweeping {} candidates on a {n}³ grid, {nt} steps each…\n",
         cands.len()
@@ -147,4 +159,35 @@ fn main() {
             Err(err) => eprintln!("could not write trace JSON: {err}"),
         }
     }
+
+    // Same tile geometry, barrier discipline compared head-to-head: one
+    // barrier per anti-diagonal (diagonal executor) vs one join per sweep
+    // (dataflow executor). With profiling on, the barrier-wait share is the
+    // synchronisation cost each discipline actually paid.
+    let geometry = result.best;
+    let run_share = |solver: &mut Acoustic, c: &Candidate| {
+        let exec = Execution {
+            schedule: schedule_of(c),
+            sparse: SparseMode::FusedCompressed,
+            policy: Policy::default(),
+            kernel: KernelPath::default(),
+        };
+        let (stats, profile, _) = solver.run_profiled(&exec);
+        let share = (!profile.is_empty()).then(|| profile.barrier_wait_share());
+        (stats, share)
+    };
+    let (dg_stats, dg_share) = run_share(&mut solver, &geometry.with_diagonal());
+    let (df_stats, df_share) = run_share(&mut solver, &geometry.with_dataflow());
+    let pct = |s: Option<f64>| s.map(|v| format!("{:>5.1}%", v * 100.0)).unwrap_or("    —".into());
+    println!("\nbarrier discipline at the tuned geometry ({geometry}):");
+    println!(
+        "  diagonal (barrier per anti-diagonal)  {:>8.3?}  barrier-wait {}",
+        dg_stats.elapsed,
+        pct(dg_share)
+    );
+    println!(
+        "  dataflow (single join per sweep)      {:>8.3?}  barrier-wait {}",
+        df_stats.elapsed,
+        pct(df_share)
+    );
 }

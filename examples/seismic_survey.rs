@@ -69,11 +69,30 @@ fn main() {
         diag.gpoints_per_s,
         diag.gpoints_per_s / base.gpoints_per_s
     );
+    let (dflow, dflow_profile, dflow_trace, dflow_meta) =
+        solver.run_traced(&Execution::wavefront_dataflow_default());
+    println!(
+        "wavefront-dflow: {:>6.3} GPts/s  speedup {:.2}x",
+        dflow.gpoints_per_s,
+        dflow.gpoints_per_s / base.gpoints_per_s
+    );
+
+    // Head-to-head synchronisation cost: one barrier per anti-diagonal vs a
+    // single join per sweep. Both run the same tile geometry, so the
+    // barrier-wait share isolates the scheduling discipline.
+    if !diag_profile.is_empty() && !dflow_profile.is_empty() {
+        println!(
+            "\nbarrier-wait share: diagonal {:>5.1}%  vs  dataflow {:>5.1}%",
+            100.0 * diag_profile.barrier_wait_share(),
+            100.0 * dflow_profile.barrier_wait_share()
+        );
+    }
 
     for (profile, trace, meta) in [
         (base_profile, base_trace, base_meta),
         (wtb_profile, wtb_trace, wtb_meta),
         (diag_profile, diag_trace, diag_meta),
+        (dflow_profile, dflow_trace, dflow_meta),
     ] {
         if profile.is_empty() {
             continue; // profiling off (or built without --features obs)

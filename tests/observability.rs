@@ -83,6 +83,17 @@ fn schedules() -> Vec<(&'static str, Schedule, SparseMode)> {
             },
             SparseMode::FusedCompressed,
         ),
+        (
+            "wavefront-dataflow",
+            Schedule::WavefrontDataflow {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            },
+            SparseMode::FusedCompressed,
+        ),
     ]
 }
 
@@ -170,9 +181,26 @@ fn check_schedule<F: FnMut(&Execution)>(
                     "{label}: no tiles"
                 );
             }
+            Schedule::WavefrontDataflow { .. } => {
+                // The dataflow executor runs tiles without slabs phases or
+                // per-diagonal barriers — only the tile counter moves.
+                assert!(
+                    p.counter(Counter::WavefrontTiles) > 0,
+                    "{label}: no tiles"
+                );
+                assert_eq!(p.counter(Counter::WavefrontDiagonals), 0, "{label}");
+                assert_eq!(p.counter(Counter::WavefrontSlabs), 0, "{label}");
+                assert!(
+                    p.counter(Counter::DataflowReady) > 0,
+                    "{label}: every tile must pass through the ready state"
+                );
+            }
         }
         let mut counts: Vec<u64> = Counter::ALL.iter().map(|&c| p.counter(c)).collect();
         counts[Counter::ParPublications as usize] = 0;
+        // Steal counts are timing-dependent (a worker only steals when its
+        // own deque is dry); zero them before the cross-policy comparison.
+        counts[Counter::DataflowSteals as usize] = 0;
         per_policy.push(counts);
     }
     for w in per_policy.windows(2) {

@@ -177,6 +177,45 @@ fn traced_diagonal_run_covers_every_tile_and_roundtrips() {
 
 #[cfg(feature = "obs")]
 #[test]
+fn traced_dataflow_run_covers_every_tile_with_zero_drops() {
+    // Satellite acceptance: the dependency-driven executor must trace one
+    // tile span per (non-empty) space-time tile with correct coordinates and
+    // lose nothing at the default ring capacity, even though tiles complete
+    // in a work-stealing order.
+    let _g = guard();
+    let mut s = acoustic64();
+    let exec = Execution::wavefront_dataflow_default();
+    let (stats, profile, trace, _) = s.run_traced(&exec);
+    assert_eq!(stats.nt, NT);
+    assert!(!profile.is_empty(), "profiling gate is on");
+    assert_eq!(trace.dropped, 0, "dataflow 64³×8 must fit the default ring");
+    assert_eq!(trace.capacity, obs::trace::DEFAULT_CAPACITY);
+
+    let spec = exec.wavefront_spec(2, 1);
+    let mut expected = Vec::new();
+    tempest::tiling::wavefront::for_each_tile(Shape::cube(N), NT, &spec, |t| expected.push(*t));
+    assert!(expected.len() > 1, "the case must actually tile");
+    assert_eq!(trace.count(SpanKind::Tile), expected.len());
+    for t in &expected {
+        let found = trace.events_of(SpanKind::Tile).any(|e| {
+            e.args.tx == t.xt as i32
+                && e.args.ty == t.yt as i32
+                && e.args.t0 == t.t0 as i32
+                && e.args.t1 == t.t1 as i32
+        });
+        assert!(found, "no tile span for {t:?}");
+    }
+    // One whole-sweep dataflow span instead of per-diagonal coordinator
+    // spans: the single join per sweep is visible in the trace shape.
+    assert_eq!(trace.count(SpanKind::Dataflow), 1);
+    assert_eq!(trace.count(SpanKind::Diagonal), 0, "no diagonal barriers ran");
+    assert!(trace.count(SpanKind::Stencil) > 0, "stencil phases traced");
+    assert_well_nested(&trace);
+    obs::trace::set_enabled(false);
+}
+
+#[cfg(feature = "obs")]
+#[test]
 fn slab_and_sweep_schedules_record_their_own_spans() {
     let _g = guard();
     let mut s = acoustic64();
