@@ -2,9 +2,10 @@
 //! legality-checker cost, a small end-to-end comparison of the spatially
 //! blocked vs wave-front (slab-ordered, diagonal-parallel and dataflow)
 //! schedules on a cache-resident problem, a thread-scaling sweep of the
-//! wave-front executors, and the diagonal-vs-dataflow barrier-discipline
-//! head-to-head recorded into `results/BENCH_<host>.json` (the large-grid
-//! comparison lives in the `figure9` harness).
+//! wave-front executors, and two head-to-heads recorded into
+//! `results/BENCH_<host>.json`: diagonal-vs-dataflow (barrier discipline)
+//! and diamond-vs-dataflow (tiling geometry on the same barrier-free
+//! substrate). The large-grid comparison lives in the `figure9` harness.
 
 use std::hint::black_box;
 use tempest_bench::microbench::{self, Config};
@@ -16,7 +17,7 @@ use tempest_grid::Shape;
 use tempest_par::Policy;
 use tempest_tiling::legality::{check_diagonal_independence, check_schedule, DepModel};
 use tempest_tiling::wavefront::{slabs, WavefrontSpec};
-use tempest_tiling::Candidate;
+use tempest_tiling::{Candidate, DiamondAxis};
 
 fn bench_slab_generation(cfg: Config) {
     let shape = Shape::new(512, 512, 512);
@@ -83,6 +84,7 @@ fn bench_schedules_end_to_end(cfg: Config) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     for c in [cand, cand.with_diagonal(), cand.with_dataflow()] {
         let label = if c.dataflow {
@@ -114,6 +116,7 @@ fn bench_thread_scaling(cfg: Config) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     for threads in [1usize, 2, 4, 8] {
         if threads > avail {
@@ -184,6 +187,7 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
             block_y: 8,
             diagonal: false,
             dataflow: false,
+            diamond: None,
         };
         let mut row = Vec::new();
         for c in [cand.with_diagonal(), cand.with_dataflow()] {
@@ -251,9 +255,14 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
         );
     }
 
-    // Merge into the host's bench report so the comparison is on record
-    // next to the tempest-report matrix. `cargo bench` runs with the
-    // package as CWD, so resolve `results/` against the workspace root.
+    record_entries(threads, entries, "dataflow_vs_diagonal");
+}
+
+/// Merge head-to-head entries into the host's bench report so the
+/// comparison is on record next to the tempest-report matrix. `cargo bench`
+/// runs with the package as CWD, so resolve `results/` against the
+/// workspace root.
+fn record_entries(threads: usize, entries: Vec<BenchEntry>, label: &str) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -273,9 +282,89 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
         report.entries.push(e);
     }
     match report.write(&dir) {
-        Ok(p) => println!("dataflow_vs_diagonal: recorded in {}", p.display()),
-        Err(e) => eprintln!("dataflow_vs_diagonal: could not write report: {e}"),
+        Ok(p) => println!("{label}: recorded in {}", p.display()),
+        Err(e) => eprintln!("{label}: could not write report: {e}"),
     }
+}
+
+/// Diamond-vs-dataflow head-to-head: at each temporal tile height both
+/// schedules run barrier-free on the dependency-counted substrate with the
+/// same 16-wide tiles, so the median wall time isolates the tiling
+/// geometry — diamonds trade the dataflow schedule's 2D spatial tiling for
+/// full-height time tiles with no redundant halo recompute and a wider
+/// ready frontier along the cross axis. Recorded into
+/// `results/BENCH_<host>.json` next to the other head-to-head.
+fn bench_diamond_vs_dataflow(cfg: Config) {
+    let threads = tempest_par::available_threads();
+    let cfg = Config {
+        measure: std::time::Duration::from_millis(2000),
+        max_iters: 30,
+        ..cfg
+    };
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for tile_t in [2usize, 4] {
+        // Width 16 at radius 2 (so4): slope 4 at tile_t 2, slope 2 at
+        // tile_t 4 — both legal, same footprint as the dataflow tiles.
+        let cand = Candidate {
+            tile_x: 16,
+            tile_y: 16,
+            tile_t,
+            block_x: 8,
+            block_y: 8,
+            ..Candidate::default()
+        };
+        let mut row = Vec::new();
+        for c in [cand.with_dataflow(), cand.with_diamond(DiamondAxis::X)] {
+            let mode = if c.diamond.is_some() { "diamond" } else { "dataflow" };
+            let mut s = setup::acoustic(64, 4, 32, 0);
+            let mut e = exec_wavefront(&c);
+            e.policy = Policy::Parallel;
+            let sample = microbench::run(
+                &format!("diamond_vs_dataflow/t{tile_t}/{mode}"),
+                cfg,
+                || {
+                    black_box(s.run(&e).elapsed);
+                },
+            );
+            tempest_obs::set_enabled(true);
+            let mut shares = Vec::new();
+            let mut last = None;
+            for _ in 0..5 {
+                let (stats, profile, meta) = s.run_profiled(&e);
+                shares.push(profile.barrier_wait_share());
+                last = Some((stats, meta));
+            }
+            tempest_obs::set_enabled(false);
+            shares.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let share = shares[shares.len() / 2];
+            let (stats, meta) = last.unwrap();
+            let total_gpoints = stats.gpoints_per_s * stats.elapsed.as_secs_f64();
+            entries.push(BenchEntry {
+                model: meta.name.clone(),
+                schedule: tempest_obs::sanitize_label(&meta.schedule),
+                kernel: "pencil".into(),
+                gpts_per_s: total_gpoints / sample.median.as_secs_f64(),
+                elapsed_s: sample.median.as_secs_f64(),
+                barrier_wait_share: share,
+                worst_imbalance: 1.0,
+                critical_path_ms: 0.0,
+                dropped_events: 0,
+            });
+            row.push((mode, sample.median, share));
+        }
+        let (_, dflow_med, dflow_share) = row[0];
+        let (_, dmnd_med, dmnd_share) = row[1];
+        println!(
+            "diamond_vs_dataflow/t{tile_t}: median dataflow {:?} vs diamond {:?} ({}), \
+             barrier-wait {:.2}% vs {:.2}%",
+            dflow_med,
+            dmnd_med,
+            if dmnd_med <= dflow_med { "diamond no slower ✓" } else { "diamond slower" },
+            100.0 * dflow_share,
+            100.0 * dmnd_share,
+        );
+    }
+    record_entries(threads, entries, "diamond_vs_dataflow");
 }
 
 /// Whether the profiling substrate is compiled in (barrier shares are
@@ -299,6 +388,7 @@ fn profile_section() {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     let execs = [
         exec_spaceblocked(8, 8),
@@ -329,6 +419,7 @@ fn main() {
     bench_schedules_end_to_end(cfg);
     bench_thread_scaling(cfg);
     bench_dataflow_vs_diagonal(cfg);
+    bench_diamond_vs_dataflow(cfg);
     if std::env::args().any(|a| a == "--profile") {
         profile_section();
     }

@@ -50,6 +50,7 @@ fn scalar_vs_pencil(args: &HarnessArgs) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     let mut run = |model: &str, s: &mut dyn tempest_core::WaveSolver| {
         for (sched, exec) in [
@@ -102,6 +103,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     let tiled = Candidate {
         tile_x: 16,
@@ -111,6 +113,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     for (label, c) in [("pure skewing", skew_only), ("tiled wavefront", tiled)] {
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
@@ -134,6 +137,7 @@ fn listing4_vs_listing5(args: &HarnessArgs) {
         block_y: 8,
         diagonal: false,
         dataflow: false,
+        diamond: None,
     };
     let counts = if args.fast {
         vec![1usize, 64]
@@ -184,6 +188,7 @@ fn tile_height_sweep(args: &HarnessArgs) {
             block_y: 8,
             diagonal: false,
             dataflow: false,
+            diamond: None,
         };
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
         if tt == 1 {

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p tempest-bench --release --features obs --bin tempest-report -- \
 //!     [--size 64] [--nt 8] [--so 4] [--fast] [--model acoustic,tti,elastic] \
-//!     [--schedules wavefront-diag,wavefront-dataflow] \
+//!     [--schedules wavefront-diag,wavefront-dataflow,diamond] [--list-schedules] \
 //!     [--kernel scalar|pencil|both] [--repeats 2] [--out results] [--trace] \
 //!     [--baseline results/baseline.json] [--check-baseline] [--write-baseline] \
 //!     [--threshold 0.15]
@@ -119,6 +119,12 @@ fn parse_args() -> ReportArgs {
                 a.out = PathBuf::from(argv.get(i).expect("--out needs a directory"));
             }
             "--trace" => a.trace = true,
+            "--list-schedules" => {
+                for (label, exec) in schedules(None) {
+                    println!("{label:20} {}", exec.schedule_label());
+                }
+                std::process::exit(0);
+            }
             "--baseline" => {
                 i += 1;
                 a.baseline = PathBuf::from(argv.get(i).expect("--baseline needs a path"));
@@ -137,7 +143,8 @@ fn parse_args() -> ReportArgs {
                 eprintln!(
                     "options: --size N --nt N --so N --fast \
                      --model acoustic,tti,elastic \
-                     --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow \
+                     --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow,diamond \
+                     --list-schedules \
                      --kernel scalar|pencil|both \
                      --repeats N --out DIR --trace \
                      --baseline PATH --check-baseline --write-baseline --threshold F"
@@ -166,16 +173,19 @@ fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
         ("wavefront", Execution::wavefront_default()),
         ("wavefront-diag", Execution::wavefront_diagonal_default()),
         ("wavefront-dataflow", Execution::wavefront_dataflow_default()),
+        ("diamond", Execution::diamond_default()),
     ];
     match filter {
         None => all,
         Some(names) => {
             for n in names {
-                assert!(
-                    all.iter().any(|(label, _)| label == n),
-                    "unknown schedule {n:?} (want one of {:?})",
-                    all.iter().map(|(l, _)| *l).collect::<Vec<_>>()
-                );
+                if !all.iter().any(|(label, _)| label == n) {
+                    eprintln!(
+                        "unknown schedule {n:?} (want one of {:?}; see --list-schedules)",
+                        all.iter().map(|(l, _)| *l).collect::<Vec<_>>()
+                    );
+                    std::process::exit(2);
+                }
             }
             all.into_iter()
                 .filter(|(label, _)| names.iter().any(|n| n == label))

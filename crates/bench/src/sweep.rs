@@ -12,11 +12,22 @@ use tempest_obs as obs;
 use tempest_par::Policy;
 use tempest_tiling::{autotune, autotune_measured, Candidate, MeasuredResult, Measurement, TuneResult};
 
-/// Execution for a WTB candidate (slab-ordered, diagonal-parallel or
-/// dependency-driven dataflow, per the candidate's `diagonal`/`dataflow`
-/// flags).
+/// Execution for a WTB candidate (slab-ordered, diagonal-parallel,
+/// dependency-driven dataflow, or diamond, per the candidate's
+/// `diagonal`/`dataflow`/`diamond` flags). Diamond candidates reuse
+/// `tile_x` as the diamond base width and `tile_y` as the cross-axis
+/// window extent.
 pub fn exec_wavefront(c: &Candidate) -> Execution {
-    let schedule = if c.dataflow {
+    let schedule = if let Some(axis) = c.diamond {
+        Schedule::Diamond {
+            width: c.tile_x,
+            tile_t: c.tile_t,
+            tile_c: c.tile_y,
+            axis,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    } else if c.dataflow {
         Schedule::WavefrontDataflow {
             tile_x: c.tile_x,
             tile_y: c.tile_y,
@@ -206,8 +217,7 @@ mod tests {
             tile_t: 4,
             block_x: 8,
             block_y: 8,
-            diagonal: false,
-            dataflow: false,
+            ..Candidate::default()
         };
         let c = base.with_dataflow();
         assert!(matches!(
@@ -218,6 +228,35 @@ mod tests {
         assert!(matches!(
             exec_wavefront(&d).schedule,
             Schedule::WavefrontDiagonal { .. }
+        ));
+    }
+
+    #[test]
+    fn diamond_candidate_maps_to_diamond_schedule() {
+        use tempest_tiling::DiamondAxis;
+        let base = Candidate {
+            tile_x: 16,
+            tile_y: 8,
+            tile_t: 4,
+            block_x: 8,
+            block_y: 8,
+            ..Candidate::default()
+        };
+        let c = base.with_diamond(DiamondAxis::Y);
+        assert!(matches!(
+            exec_wavefront(&c).schedule,
+            Schedule::Diamond {
+                width: 16,
+                tile_t: 4,
+                tile_c: 8,
+                axis: DiamondAxis::Y,
+                ..
+            }
+        ));
+        // The diamond flag wins over diagonal/dataflow leftovers.
+        assert!(matches!(
+            exec_wavefront(&base).schedule,
+            Schedule::Wavefront { .. }
         ));
     }
 

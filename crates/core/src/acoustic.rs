@@ -25,7 +25,7 @@ use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{laplacian_at, laplacian_at_r, AxisWeights};
 use tempest_stencil::simd::{laplacian_pencil, laplacian_pencil_r, LANE};
 use tempest_stencil::metrics::acoustic_cost;
-use tempest_tiling::{spaceblock, wavefront};
+use tempest_tiling::{diamond, spaceblock, wavefront};
 
 /// The isotropic acoustic propagator.
 pub struct Acoustic {
@@ -583,6 +583,12 @@ impl WaveSolver for Acoustic {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::Diamond { .. } => {
+                let spec = exec.diamond_spec(self.radius, 1);
+                diamond::execute_diamond(shape, nt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -805,6 +811,125 @@ mod tests {
             "tile_t=1 dataflow must equal space blocking, max diff {}",
             base.max_abs_diff(&f)
         );
+    }
+
+    #[test]
+    fn diamond_matches_dataflow_bitwise_across_policies() {
+        // Tentpole acceptance: the diamond schedule must reproduce the
+        // dataflow executor bit-for-bit under every policy. Width 24 at
+        // tile_t 3 gives slope 4, legal for both space orders (radii 2, 4).
+        use crate::operator::DiamondAxis;
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let mut a = small_setup(so, 16);
+            let mut df = Execution::wavefront_dataflow_default().sequential();
+            df.schedule = Schedule::WavefrontDataflow {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 4,
+                block_x: 4,
+                block_y: 4,
+            };
+            a.run(&df);
+            let want = a.final_field();
+            for axis in [DiamondAxis::X, DiamondAxis::Y] {
+                for pol in [
+                    Policy::Sequential,
+                    Policy::Parallel,
+                    Policy::Capped { threads: 1 },
+                    Policy::Capped { threads: 2 },
+                    Policy::Capped { threads: 4 },
+                ] {
+                    let mut dm = df;
+                    dm.schedule = Schedule::Diamond {
+                        width: 24,
+                        tile_t: 3,
+                        tile_c: 8,
+                        axis,
+                        block_x: 4,
+                        block_y: 4,
+                    };
+                    dm.policy = pol;
+                    a.run(&dm);
+                    let got = a.final_field();
+                    assert!(
+                        want.bit_equal(&got),
+                        "so={so} axis={axis:?} policy={pol:?}: diamond must match \
+                         dataflow bitwise, max diff {}",
+                        want.max_abs_diff(&got)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_fused_sparse_modes_agree_bitwise() {
+        // Fused source/receiver work clipped to diamond extents must land on
+        // the correct vt regardless of tile claim order.
+        use crate::operator::DiamondAxis;
+        let mut a = small_setup(4, 12);
+        let mut e1 = Execution::diamond_default();
+        e1.schedule = Schedule::Diamond {
+            width: 24,
+            tile_t: 3,
+            tile_c: 8,
+            axis: DiamondAxis::X,
+            block_x: 8,
+            block_y: 8,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        a.run(&e1);
+        let f1 = a.final_field();
+        a.run(&e2);
+        let f2 = a.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under diamond executor");
+    }
+
+    #[test]
+    fn diamond_tile_t_one_degrades_to_spaceblocked_bitwise() {
+        // tile_t = 1: diamonds flatten to width-wide strips linked across
+        // consecutive timesteps — per-timestep spatial blocking.
+        use crate::operator::DiamondAxis;
+        let mut a = small_setup(4, 10);
+        let mut sb = Execution::baseline().sequential();
+        sb.schedule = Schedule::SpaceBlocked {
+            block_x: 4,
+            block_y: 4,
+        };
+        sb.sparse = SparseMode::Fused;
+        a.run(&sb);
+        let base = a.final_field();
+        let mut dm = Execution::diamond_default();
+        dm.schedule = Schedule::Diamond {
+            width: 8,
+            tile_t: 1,
+            tile_c: 8,
+            axis: DiamondAxis::Y,
+            block_x: 4,
+            block_y: 4,
+        };
+        dm.sparse = SparseMode::Fused;
+        dm.policy = tempest_par::Policy::Capped { threads: 2 };
+        a.run(&dm);
+        let f = a.final_field();
+        assert!(
+            base.bit_equal(&f),
+            "tile_t=1 diamond must equal space blocking, max diff {}",
+            base.max_abs_diff(&f)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 4b")]
+    fn classic_sparse_under_diamond_panics() {
+        let mut a = small_setup(4, 8);
+        let mut e = Execution::diamond_default();
+        e.sparse = SparseMode::Classic;
+        a.run(&e);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{staggered_diff_bwd_r, staggered_diff_fwd_r, staggered_weights};
 use tempest_stencil::simd::{staggered_pencil_bwd_r, staggered_pencil_fwd_r, LANE};
 use tempest_stencil::metrics::elastic_cost;
-use tempest_tiling::{spaceblock, wavefront};
+use tempest_tiling::{diamond, spaceblock, wavefront};
 
 /// The isotropic elastic velocity–stress propagator.
 pub struct Elastic {
@@ -654,6 +654,12 @@ impl WaveSolver for Elastic {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::Diamond { .. } => {
+                let spec = exec.diamond_spec(self.radius, 2);
+                diamond::execute_diamond(shape, nvt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -799,6 +805,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn diamond_matches_dataflow_bitwise_across_policies() {
+        // Two virtual steps per timestep: the diamond spec conversion
+        // doubles the virtual tile height, so the slope bound is against
+        // 2·radius·tile_t·phases. Width 12·radius gives slope = radius.
+        use crate::operator::DiamondAxis;
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let radius = so / 2;
+            let mut e = setup(so, 12);
+            let mut df = Execution::wavefront_dataflow_default().sequential();
+            df.schedule = Schedule::WavefrontDataflow {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            e.run(&df);
+            let want = e.final_field();
+            for pol in [
+                Policy::Sequential,
+                Policy::Parallel,
+                Policy::Capped { threads: 1 },
+                Policy::Capped { threads: 2 },
+                Policy::Capped { threads: 4 },
+            ] {
+                let mut dm = df;
+                dm.schedule = Schedule::Diamond {
+                    width: 12 * radius,
+                    tile_t: 3,
+                    tile_c: 8,
+                    axis: DiamondAxis::X,
+                    block_x: 4,
+                    block_y: 4,
+                };
+                dm.policy = pol;
+                e.run(&dm);
+                let got = e.final_field();
+                assert!(
+                    want.bit_equal(&got),
+                    "so={so} policy={pol:?}: elastic diamond must match dataflow, max diff {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_fused_sparse_modes_agree_bitwise() {
+        use crate::operator::DiamondAxis;
+        let mut e = setup(4, 10);
+        let mut e1 = Execution::diamond_default();
+        e1.schedule = Schedule::Diamond {
+            width: 24,
+            tile_t: 3,
+            tile_c: 8,
+            axis: DiamondAxis::Y,
+            block_x: 8,
+            block_y: 8,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        e.run(&e1);
+        let f1 = e.final_field();
+        e.run(&e2);
+        let f2 = e.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under elastic diamond");
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod tti;
 pub use acoustic::Acoustic;
 pub use config::SimConfig;
 pub use elastic::Elastic;
-pub use operator::{Execution, KernelPath, RunStats, WaveSolver};
+pub use operator::{DiamondAxis, Execution, KernelPath, RunStats, WaveSolver};
 pub use tti::Tti;

@@ -34,7 +34,7 @@ use tempest_stencil::kernels::{
 };
 use tempest_stencil::simd::{cross_diff_pencil_r, second_diff_pencil_r, LANE};
 use tempest_stencil::metrics::tti_cost;
-use tempest_tiling::{spaceblock, wavefront};
+use tempest_tiling::{diamond, spaceblock, wavefront};
 
 /// The TTI pseudo-acoustic propagator.
 pub struct Tti {
@@ -519,6 +519,12 @@ impl WaveSolver for Tti {
                     this.step_region(vt, region, exec.sparse, exec.kernel)
                 });
             }
+            Schedule::Diamond { .. } => {
+                let spec = exec.diamond_spec(self.radius, 1);
+                diamond::execute_diamond(shape, nt, &spec, self.radius, exec.policy, |vt, region| {
+                    this.step_region(vt, region, exec.sparse, exec.kernel)
+                });
+            }
         }
         RunStats::new(started.elapsed(), nt, shape)
     }
@@ -678,6 +684,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn diamond_matches_dataflow_bitwise_across_policies() {
+        use crate::operator::DiamondAxis;
+        use tempest_par::Policy;
+        for so in [4usize, 8] {
+            let mut t = setup(0.35, so, 12);
+            let mut df = Execution::wavefront_dataflow_default().sequential();
+            df.schedule = Schedule::WavefrontDataflow {
+                tile_x: 8,
+                tile_y: 8,
+                tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            };
+            t.run(&df);
+            let want = t.final_field();
+            for pol in [
+                Policy::Sequential,
+                Policy::Parallel,
+                Policy::Capped { threads: 1 },
+                Policy::Capped { threads: 2 },
+                Policy::Capped { threads: 4 },
+            ] {
+                let mut dm = df;
+                dm.schedule = Schedule::Diamond {
+                    width: 24,
+                    tile_t: 3,
+                    tile_c: 8,
+                    axis: DiamondAxis::X,
+                    block_x: 4,
+                    block_y: 4,
+                };
+                dm.policy = pol;
+                t.run(&dm);
+                let got = t.final_field();
+                assert!(
+                    want.bit_equal(&got),
+                    "so={so} policy={pol:?}: TTI diamond must match dataflow, max diff {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_fused_sparse_modes_agree_bitwise() {
+        use crate::operator::DiamondAxis;
+        let mut t = setup(0.35, 4, 12);
+        let mut e1 = Execution::diamond_default();
+        e1.schedule = Schedule::Diamond {
+            width: 24,
+            tile_t: 3,
+            tile_c: 8,
+            axis: DiamondAxis::Y,
+            block_x: 4,
+            block_y: 4,
+        };
+        e1.policy = tempest_par::Policy::Parallel;
+        let mut e2 = e1;
+        e1.sparse = SparseMode::Fused;
+        e2.sparse = SparseMode::FusedCompressed;
+        t.run(&e1);
+        let f1 = t.final_field();
+        t.run(&e2);
+        let f2 = t.final_field();
+        assert!(f1.bit_equal(&f2), "Listing 4 vs 5 under TTI diamond");
     }
 
     #[test]

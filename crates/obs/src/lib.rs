@@ -116,7 +116,8 @@ impl Counter {
 /// plus the time any `run_dataflow` participant spends idle with no ready
 /// tile to claim. `Slab`/`Diagonal`/`Sweep` are executor scheduling units;
 /// `Dataflow` is the caller-side span of one whole dependency-driven sweep
-/// (the analogue of the sum of a run's `Diagonal` phases).
+/// (the analogue of the sum of a run's `Diagonal` phases), and `Diamond` the
+/// same for one diamond-schedule sweep.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Phase {
@@ -126,11 +127,12 @@ pub enum Phase {
     Slab,
     Diagonal,
     Dataflow,
+    Diamond,
     Sweep,
 }
 
 impl Phase {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     pub const ALL: [Phase; Self::COUNT] = [
         Phase::Stencil,
         Phase::Sparse,
@@ -138,6 +140,7 @@ impl Phase {
         Phase::Slab,
         Phase::Diagonal,
         Phase::Dataflow,
+        Phase::Diamond,
         Phase::Sweep,
     ];
 
@@ -149,6 +152,7 @@ impl Phase {
             Phase::Slab => "slab",
             Phase::Diagonal => "diagonal",
             Phase::Dataflow => "dataflow",
+            Phase::Diamond => "diamond",
             Phase::Sweep => "sweep",
         }
     }

@@ -40,7 +40,8 @@ pub const DEFAULT_CAPACITY: usize = 262_144;
 /// slab-ordered executor; `Sweep` one virtual timestep of the space-blocked
 /// path; `Diagonal` the coordinator-side span of one anti-diagonal batch;
 /// `Dataflow` the coordinator-side span of one whole dependency-driven
-/// sweep; `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
+/// sweep; `Diamond` the same for one diamond-schedule sweep;
+/// `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
 /// `run_batch` caller's wait for workers or a dataflow participant's idle
 /// wait for a ready tile.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,19 +52,21 @@ pub enum SpanKind {
     Sweep,
     Diagonal,
     Dataflow,
+    Diamond,
     Stencil,
     Sparse,
     BarrierWait,
 }
 
 impl SpanKind {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
     pub const ALL: [SpanKind; Self::COUNT] = [
         SpanKind::Tile,
         SpanKind::Slab,
         SpanKind::Sweep,
         SpanKind::Diagonal,
         SpanKind::Dataflow,
+        SpanKind::Diamond,
         SpanKind::Stencil,
         SpanKind::Sparse,
         SpanKind::BarrierWait,
@@ -76,6 +79,7 @@ impl SpanKind {
             SpanKind::Sweep => "sweep",
             SpanKind::Diagonal => "diagonal",
             SpanKind::Dataflow => "dataflow",
+            SpanKind::Diamond => "diamond",
             SpanKind::Stencil => "stencil",
             SpanKind::Sparse => "sparse",
             SpanKind::BarrierWait => "barrier_wait",

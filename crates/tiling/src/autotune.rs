@@ -9,12 +9,16 @@
 
 use std::time::Duration;
 
+use crate::diamond::DiamondAxis;
+
 /// One tunable schedule configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Candidate {
-    /// Spatial tile extent along x.
+    /// Spatial tile extent along x. For diamond candidates this doubles as
+    /// the diamond base width (the diamond axis extent).
     pub tile_x: usize,
-    /// Spatial tile extent along y.
+    /// Spatial tile extent along y. For diamond candidates this doubles as
+    /// the cross-axis window extent.
     pub tile_y: usize,
     /// Temporal tile height in *timesteps* (the runner converts to virtual
     /// steps for multi-phase propagators).
@@ -30,6 +34,9 @@ pub struct Candidate {
     /// geometry, whole-sweep work stealing with a single join instead of
     /// per-diagonal barriers. Mutually exclusive with `diagonal`.
     pub dataflow: bool,
+    /// Use the diamond (MWD) schedule on the chosen axis. Mutually
+    /// exclusive with `diagonal` and `dataflow`.
+    pub diamond: Option<DiamondAxis>,
 }
 
 impl Candidate {
@@ -37,6 +44,7 @@ impl Candidate {
     pub fn with_diagonal(mut self) -> Self {
         self.diagonal = true;
         self.dataflow = false;
+        self.diamond = None;
         self
     }
 
@@ -44,6 +52,16 @@ impl Candidate {
     pub fn with_dataflow(mut self) -> Self {
         self.dataflow = true;
         self.diagonal = false;
+        self.diamond = None;
+        self
+    }
+
+    /// The same geometry with the diamond schedule on `axis` (`tile_x` read
+    /// as the diamond width, `tile_y` as the cross window).
+    pub fn with_diamond(mut self, axis: DiamondAxis) -> Self {
+        self.diamond = Some(axis);
+        self.diagonal = false;
+        self.dataflow = false;
         self
     }
 }
@@ -60,19 +78,31 @@ impl std::fmt::Display for Candidate {
             self.block_y,
             if self.diagonal { " / diag" } else { "" },
             if self.dataflow { " / dflow" } else { "" }
-        )
+        )?;
+        if let Some(axis) = self.diamond {
+            write!(f, " / dmnd-{}", axis.name())?;
+        }
+        Ok(())
     }
+}
+
+/// Duplicate each candidate with an executor variant produced by `make`:
+/// the shared generator behind [`with_diagonal_variants`] and
+/// [`with_dataflow_variants`], keeping base and variant adjacent so sweep
+/// output reads pairwise.
+fn with_variants(cands: &[Candidate], make: impl Fn(Candidate) -> Candidate) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(cands.len() * 2);
+    for &c in cands {
+        out.push(c);
+        out.push(make(c));
+    }
+    out
 }
 
 /// Duplicate each candidate with the diagonal-parallel executor enabled, so
 /// a sweep compares both execution modes over the same tile geometries.
 pub fn with_diagonal_variants(cands: &[Candidate]) -> Vec<Candidate> {
-    let mut out = Vec::with_capacity(cands.len() * 2);
-    for &c in cands {
-        out.push(c);
-        out.push(c.with_diagonal());
-    }
-    out
+    with_variants(cands, Candidate::with_diagonal)
 }
 
 /// Duplicate each candidate with the dataflow executor enabled, so a sweep
@@ -80,10 +110,24 @@ pub fn with_diagonal_variants(cands: &[Candidate]) -> Vec<Candidate> {
 /// candidates already using another tile executor keep their geometry but
 /// the variant still switches to dataflow (the flags are exclusive).
 pub fn with_dataflow_variants(cands: &[Candidate]) -> Vec<Candidate> {
-    let mut out = Vec::with_capacity(cands.len() * 2);
+    with_variants(cands, Candidate::with_dataflow)
+}
+
+/// Extend the sweep with diamond-schedule variants: every candidate whose
+/// `tile_x` is a legal diamond width for the given stencil — divisible by
+/// `2·tile_t·phases` with a slope quotient ≥ `radius` (the
+/// `width ≥ 2·radius·tile_t` legality bound) — gains one variant per axis
+/// choice. Bases are kept, so the measured tie-breaking of
+/// [`autotune_measured`] decides between skewed and diamond tiling on equal
+/// geometry.
+pub fn with_diamond_variants(cands: &[Candidate], radius: usize, phases: usize) -> Vec<Candidate> {
+    let mut out = cands.to_vec();
     for &c in cands {
-        out.push(c);
-        out.push(c.with_dataflow());
+        let tv = (c.tile_t * phases).max(1);
+        if c.tile_x % (2 * tv) == 0 && c.tile_x / (2 * tv) >= radius.max(1) {
+            out.push(c.with_diamond(DiamondAxis::X));
+            out.push(c.with_diamond(DiamondAxis::Y));
+        }
     }
     out
 }
@@ -157,8 +201,7 @@ pub fn default_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candid
                     tile_t: tt,
                     block_x: bx,
                     block_y: bx,
-                    diagonal: false,
-                    dataflow: false,
+                    ..Candidate::default()
                 });
             }
         }
@@ -180,8 +223,7 @@ pub fn quick_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candidat
                 tile_t: tt,
                 block_x: 8,
                 block_y: 8,
-                diagonal: false,
-                dataflow: false,
+                ..Candidate::default()
             });
         }
     }
@@ -306,15 +348,20 @@ mod tests {
             tile_t: 8,
             block_x: 8,
             block_y: 8,
-            diagonal: false,
-            dataflow: false,
+            ..Candidate::default()
         };
         assert_eq!(format!("{c}"), "tile 64x64 t8 / block 8x8");
         assert_eq!(format!("{}", c.with_diagonal()), "tile 64x64 t8 / block 8x8 / diag");
         assert_eq!(format!("{}", c.with_dataflow()), "tile 64x64 t8 / block 8x8 / dflow");
-        // The executor flags are exclusive: switching one clears the other.
+        assert_eq!(
+            format!("{}", c.with_diamond(DiamondAxis::Y)),
+            "tile 64x64 t8 / block 8x8 / dmnd-y"
+        );
+        // The executor flags are exclusive: switching one clears the others.
         assert!(!c.with_diagonal().with_dataflow().diagonal);
         assert!(!c.with_dataflow().with_diagonal().dataflow);
+        assert!(c.with_diamond(DiamondAxis::X).with_dataflow().diamond.is_none());
+        assert!(!c.with_dataflow().with_diamond(DiamondAxis::X).dataflow);
     }
 
     #[test]
@@ -342,6 +389,35 @@ mod tests {
             assert!(!a.dataflow && b.dataflow && !b.diagonal);
             assert_eq!(a.with_dataflow(), b);
         }
+    }
+
+    #[test]
+    fn diamond_variants_extend_only_legal_widths() {
+        // Base width must be divisible by 2·tile_t·phases with slope ≥
+        // radius; illegal geometries keep only their base candidate.
+        let base = quick_candidates(64, 64, &[4, 8]); // tiles 8, 16, 64
+        let out = with_diamond_variants(&base, 2, 1);
+        // Legal at radius 2: tile 64 t4 (slope 8), tile 64 t8 (slope 4),
+        // tile 16 t4 (slope 2). Illegal: tile 16 t8 and tile 8 t4 (slope 1),
+        // tile 8 t8 (width not divisible by 2·tile_t).
+        let diamonds: Vec<_> = out.iter().filter(|c| c.diamond.is_some()).collect();
+        assert_eq!(out.len(), base.len() + diamonds.len());
+        assert!(!diamonds.is_empty());
+        for c in &diamonds {
+            let slope = c.tile_x / (2 * c.tile_t);
+            assert_eq!(c.tile_x % (2 * c.tile_t), 0);
+            assert!(slope >= 2, "{c}");
+            assert!(!c.diagonal && !c.dataflow);
+        }
+        // Both axes appear for each legal geometry.
+        assert_eq!(
+            diamonds.iter().filter(|c| c.diamond == Some(DiamondAxis::X)).count(),
+            diamonds.iter().filter(|c| c.diamond == Some(DiamondAxis::Y)).count()
+        );
+        // Multi-phase propagators tighten the bound: with phases = 2 the
+        // same base set loses the slope-2 geometries.
+        let out2 = with_diamond_variants(&base, 2, 2);
+        assert!(out2.iter().filter(|c| c.diamond.is_some()).count() < diamonds.len());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!    `vt − 1` value it must read has been overwritten (Fig. 7's "the green
 //!    value substitutes the yellow one" is only safe behind the wave-front).
 
+use crate::diamond::{diamond_slab, diamond_tile_graph, DiamondSpec, DiamondTile};
 use crate::wavefront::{diagonals, tile_graph, tile_slab, Slab, Tile, WavefrontSpec};
 use tempest_grid::{Array2, Shape};
 
@@ -220,31 +221,47 @@ fn tile_pair_conflict(
     a: &Tile,
     b: &Tile,
 ) -> Option<DiagonalConflict> {
-    for (a, b) in [(a, b), (b, a)] {
-        for va in a.t0..a.t1 {
-            let Some(sa) = tile_slab(shape, spec, a, va) else {
-                continue;
+    let slabs_of = |t: &Tile| -> Vec<Slab> {
+        (t.t0..t.t1)
+            .filter_map(|vt| tile_slab(shape, spec, t, vt))
+            .collect()
+    };
+    let (sa, sb) = (slabs_of(a), slabs_of(b));
+    for (a, b, sa, sb) in [(a, b, &sa, &sb), (b, a, &sb, &sa)] {
+        if let Some((vt_a, vt_b, write_write)) = slab_lists_conflict(shape, model, sa, sb) {
+            return Some(DiagonalConflict {
+                tile_a: *a,
+                vt_a,
+                tile_b: *b,
+                vt_b,
+                write_write,
+            });
+        }
+    }
+    None
+}
+
+/// The slot-aware conflict test over two tiles' slab sequences, one
+/// direction: does some slab of A (reading) collide with some slab of B
+/// (writing)? Callers check both orderings. Shared by the wavefront and
+/// diamond pairwise tests.
+fn slab_lists_conflict(
+    shape: Shape,
+    model: DepModel,
+    a_slabs: &[Slab],
+    b_slabs: &[Slab],
+) -> Option<(usize, usize, bool)> {
+    for sa in a_slabs {
+        let ra = dilate(shape, model.radius, sa);
+        for sb in b_slabs {
+            let write_write = sa.vt % model.levels == sb.vt % model.levels;
+            let conflict = if write_write {
+                xy_overlap(sa, sb)
+            } else {
+                xy_overlap(&ra, sb)
             };
-            let ra = dilate(shape, model.radius, &sa);
-            for vb in b.t0..b.t1 {
-                let Some(sb) = tile_slab(shape, spec, b, vb) else {
-                    continue;
-                };
-                let write_write = va % model.levels == vb % model.levels;
-                let conflict = if write_write {
-                    xy_overlap(&sa, &sb)
-                } else {
-                    xy_overlap(&ra, &sb)
-                };
-                if conflict {
-                    return Some(DiagonalConflict {
-                        tile_a: *a,
-                        vt_a: va,
-                        tile_b: *b,
-                        vt_b: vb,
-                        write_write,
-                    });
-                }
+            if conflict {
+                return Some((sa.vt, sb.vt, write_write));
             }
         }
     }
@@ -342,7 +359,32 @@ pub fn check_dataflow_dependencies(
 ) -> Result<(), DataflowViolation> {
     assert!(model.levels >= 2, "time buffers have at least 2 levels");
     let (tiles, preds) = tile_graph(shape, nvt, spec, model.radius);
-    let n = tiles.len();
+    let order = match kahn_order(&preds) {
+        Ok(o) => o,
+        Err(stuck) => return Err(DataflowViolation::Cycle { tile: tiles[stuck] }),
+    };
+    let mut sched = Vec::new();
+    for &i in &order {
+        let t = &tiles[i as usize];
+        for vt in t.t0..t.t1 {
+            if let Some(s) = tile_slab(shape, spec, t, vt) {
+                sched.push(s);
+            }
+        }
+    }
+    check_schedule(shape, nvt, model, sched).map_err(DataflowViolation::Replay)?;
+    for (i, j) in unordered_pairs(&order, &preds) {
+        if let Some(c) = tile_pair_conflict(shape, model, spec, &tiles[i], &tiles[j]) {
+            return Err(DataflowViolation::Unordered(c));
+        }
+    }
+    Ok(())
+}
+
+/// Kahn's algorithm over predecessor lists: a topological order, or on a
+/// cycle the index of a node left with unsatisfiable predecessors.
+fn kahn_order(preds: &[Vec<u32>]) -> Result<Vec<u32>, usize> {
+    let n = preds.len();
     let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
     let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, ps) in preds.iter().enumerate() {
@@ -363,23 +405,19 @@ pub fn check_dataflow_dependencies(
         }
     }
     if order.len() != n {
-        let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle has a stuck node");
-        return Err(DataflowViolation::Cycle { tile: tiles[stuck] });
+        return Err((0..n).find(|&i| indeg[i] > 0).expect("cycle has a stuck node"));
     }
-    let mut sched = Vec::new();
-    for &i in &order {
-        let t = &tiles[i as usize];
-        for vt in t.t0..t.t1 {
-            if let Some(s) = tile_slab(shape, spec, t, vt) {
-                sched.push(s);
-            }
-        }
-    }
-    check_schedule(shape, nvt, model, sched).map_err(DataflowViolation::Replay)?;
-    // Ancestor closure as bitsets, in topological order.
+    Ok(order)
+}
+
+/// The node pairs the graph leaves unordered — neither is an ancestor of
+/// the other, so the executor may run them concurrently. Computed via
+/// ancestor-closure bitsets built in topological order.
+fn unordered_pairs(order: &[u32], preds: &[Vec<u32>]) -> Vec<(usize, usize)> {
+    let n = preds.len();
     let words = n.div_ceil(64);
     let mut anc = vec![0u64; n * words];
-    for &i in &order {
+    for &i in order {
         let i = i as usize;
         for &p in &preds[i] {
             let p = p as usize;
@@ -391,13 +429,108 @@ pub fn check_dataflow_dependencies(
         }
     }
     let is_anc = |x: usize, of: usize| (anc[of * words + x / 64] >> (x % 64)) & 1 == 1;
+    let mut out = Vec::new();
     for i in 0..n {
         for j in i + 1..n {
-            if is_anc(i, j) || is_anc(j, i) {
-                continue;
+            if !is_anc(i, j) && !is_anc(j, i) {
+                out.push((i, j));
             }
-            if let Some(c) = tile_pair_conflict(shape, model, spec, &tiles[i], &tiles[j]) {
-                return Err(DataflowViolation::Unordered(c));
+        }
+    }
+    out
+}
+
+/// A dependency conflict between two diamond tiles the graph leaves
+/// unordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiamondConflict {
+    /// The reading/writing tile.
+    pub tile_a: DiamondTile,
+    /// Its virtual step.
+    pub vt_a: usize,
+    /// The concurrently writing tile.
+    pub tile_b: DiamondTile,
+    /// Its virtual step.
+    pub vt_b: usize,
+    /// `true` for a same-ring-slot write/write overlap, `false` when tile B
+    /// writes a slot tile A concurrently reads.
+    pub write_write: bool,
+}
+
+/// A violation of the diamond schedule's soundness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiamondViolation {
+    /// The dependency graph is cyclic — this tile can never become ready.
+    /// Reachable for `slope < radius` (adjacent same-row diamonds read each
+    /// other's previous step in both directions) or `cross_skew < radius`
+    /// (likewise for adjacent cross windows) — i.e. for diamond base widths
+    /// below `2·radius·tile_t`.
+    Cycle {
+        /// A tile left with unsatisfiable predecessors.
+        tile: DiamondTile,
+    },
+    /// A topological serialisation of the graph fails the replay oracle —
+    /// the predecessor sets miss a flow dependency.
+    Replay(Violation),
+    /// Two tiles the graph leaves unordered have conflicting footprints.
+    Unordered(DiamondConflict),
+}
+
+/// Validate the predecessor sets [`diamond_tile_graph`] builds for `spec`
+/// against the replay oracle — the soundness condition of
+/// [`crate::diamond::execute_diamond`], mirroring
+/// [`check_dataflow_dependencies`]:
+///
+/// 1. the graph is acyclic (Kahn's algorithm consumes every node);
+/// 2. one topological serialisation replays cleanly through
+///    [`check_schedule`];
+/// 3. every unordered pair of tiles passes the slot-aware pairwise conflict
+///    test, so every other topological order replays identically.
+///
+/// As for the dataflow checker, point 3 discharges the ring-buffer
+/// anti-dependencies the flow-only graph leaves implicit. Specs with
+/// `slope < radius` (diamond width below `2·radius·tile_t`) or
+/// `cross_skew < radius` fail with [`DiamondViolation::Cycle`].
+pub fn check_diamond_dependencies(
+    shape: Shape,
+    nvt: usize,
+    model: DepModel,
+    spec: &DiamondSpec,
+) -> Result<(), DiamondViolation> {
+    assert!(model.levels >= 2, "time buffers have at least 2 levels");
+    let (tiles, preds) = diamond_tile_graph(shape, nvt, spec, model.radius);
+    let order = match kahn_order(&preds) {
+        Ok(o) => o,
+        Err(stuck) => return Err(DiamondViolation::Cycle { tile: tiles[stuck] }),
+    };
+    let mut sched = Vec::new();
+    for &i in &order {
+        let t = &tiles[i as usize];
+        for vt in t.t0..t.t1 {
+            if let Some(s) = diamond_slab(shape, spec, t, vt) {
+                sched.push(s);
+            }
+        }
+    }
+    check_schedule(shape, nvt, model, sched).map_err(DiamondViolation::Replay)?;
+    let slabs_of = |t: &DiamondTile| -> Vec<Slab> {
+        (t.t0..t.t1)
+            .filter_map(|vt| diamond_slab(shape, spec, t, vt))
+            .collect()
+    };
+    let all_slabs: Vec<Vec<Slab>> = tiles.iter().map(slabs_of).collect();
+    for (i, j) in unordered_pairs(&order, &preds) {
+        for (a, b) in [(i, j), (j, i)] {
+            if let Some((vt_a, vt_b, write_write)) =
+                slab_lists_conflict(shape, model, &all_slabs[a], &all_slabs[b])
+            {
+                return Err(DiamondViolation::Unordered(DiamondConflict {
+                    tile_a: tiles[a],
+                    vt_a,
+                    tile_b: tiles[b],
+                    vt_b,
+                    write_write,
+                }));
             }
         }
     }
@@ -778,6 +911,161 @@ mod tests {
                     .any(|b| b.xt == a.xt && b.yt == a.yt && b.t1 == a.t0));
             }
         }
+    }
+
+    /// Brute-force diamond predecessor sets by definition: B precedes A iff
+    /// for some step `va ≥ 1` of A, B's slab at `va − 1` intersects the
+    /// dilated footprint of A's slab at `va`.
+    fn brute_force_diamond_preds(
+        shape: Shape,
+        spec: &DiamondSpec,
+        radius: usize,
+        tiles: &[DiamondTile],
+    ) -> Vec<Vec<u32>> {
+        let mut preds = vec![Vec::new(); tiles.len()];
+        for (ia, a) in tiles.iter().enumerate() {
+            for (ib, b) in tiles.iter().enumerate() {
+                if ia == ib {
+                    continue;
+                }
+                'pair: for va in a.t0.max(1)..a.t1 {
+                    let vb = va - 1;
+                    if !(b.t0..b.t1).contains(&vb) {
+                        continue;
+                    }
+                    let (Some(sa), Some(sb)) = (
+                        diamond_slab(shape, spec, a, va),
+                        diamond_slab(shape, spec, b, vb),
+                    ) else {
+                        continue;
+                    };
+                    if xy_overlap(&dilate(shape, radius, &sa), &sb) {
+                        preds[ia].push(ib as u32);
+                        break 'pair;
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    #[test]
+    fn diamond_dependencies_legal_for_sufficient_slope() {
+        use crate::diamond::DiamondAxis;
+        for radius in [0usize, 1, 2, 4] {
+            for levels in [2usize, 3] {
+                for tile_t in [1usize, 2, 3] {
+                    let spec = DiamondSpec::new(
+                        tile_t,
+                        radius.max(1),
+                        8,
+                        radius,
+                        4,
+                        4,
+                        DiamondAxis::X,
+                    );
+                    assert_eq!(
+                        check_diamond_dependencies(SHAPE, 9, DepModel { radius, levels }, &spec),
+                        Ok(()),
+                        "radius {radius} levels {levels} tile_t {tile_t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_graph_preds_are_exactly_the_halo_writers() {
+        // Property test (satellite): every diamond tile's predecessor set
+        // equals the brute-force "slabs overlapping its read halo one step
+        // earlier" set across randomised specs — boundary half-diamonds,
+        // clipped cross windows and tile_t = 1 included — and the whole
+        // graph passes the replay-backed validator.
+        use crate::diamond::{diamond_tile_graph, DiamondAxis};
+        let mut rng = tempest_grid::Rng64::new(0xD1AD);
+        for case in 0..40 {
+            let radius = rng.range_usize(0, 4);
+            let levels = rng.range_usize(2, 4);
+            let tile_t = rng.range_usize(1, 5);
+            let slope = radius.max(1) + rng.range_usize(0, 3);
+            let tile_c = rng.range_usize(2, 12);
+            let cross_skew = radius + rng.range_usize(0, 3);
+            let nvt = rng.range_usize(1, 9);
+            let axis = if rng.range_usize(0, 2) == 0 {
+                DiamondAxis::X
+            } else {
+                DiamondAxis::Y
+            };
+            let shape = Shape::new(rng.range_usize(8, 28), rng.range_usize(8, 28), 2);
+            let spec = DiamondSpec::new(tile_t, slope, tile_c, cross_skew, 4, 4, axis);
+            let (tiles, preds) = diamond_tile_graph(shape, nvt, &spec, radius);
+            let expect = brute_force_diamond_preds(shape, &spec, radius, &tiles);
+            assert_eq!(
+                preds, expect,
+                "case {case}: {spec:?} radius {radius} nvt {nvt} shape {shape:?}"
+            );
+            assert_eq!(
+                check_diamond_dependencies(shape, nvt, DepModel { radius, levels }, &spec),
+                Ok(()),
+                "case {case}: {spec:?} radius {radius} levels {levels} nvt {nvt}"
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_reject_shallow_slope() {
+        // slope < radius — a diamond base width below 2·radius·tile_t —
+        // makes adjacent same-row diamonds read each other's previous step
+        // in both directions: a dependency cycle.
+        use crate::diamond::DiamondAxis;
+        let spec = DiamondSpec::new(2, 1, 8, 2, 4, 4, DiamondAxis::X);
+        let model = DepModel {
+            radius: 2,
+            levels: 3,
+        };
+        assert!(spec.width() < 2 * model.radius * spec.tile_t);
+        let res = check_diamond_dependencies(SHAPE, 4, model, &spec);
+        assert!(matches!(res, Err(DiamondViolation::Cycle { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn diamond_dependencies_reject_shallow_slope_randomised() {
+        use crate::diamond::DiamondAxis;
+        let mut rng = tempest_grid::Rng64::new(0xD1AE);
+        for case in 0..20 {
+            let radius = rng.range_usize(2, 5);
+            let slope = rng.range_usize(1, radius);
+            let tile_t = rng.range_usize(2, 5);
+            let spec = DiamondSpec::new(tile_t, slope, 8, radius, 4, 4, DiamondAxis::X);
+            assert!(spec.width() < 2 * radius * tile_t);
+            let shape = Shape::new(32, 24, 2);
+            let res = check_diamond_dependencies(
+                shape,
+                2 * tile_t,
+                DepModel { radius, levels: 3 },
+                &spec,
+            );
+            assert!(
+                res.is_err(),
+                "case {case}: width {} < {} must be rejected ({spec:?})",
+                spec.width(),
+                2 * radius * tile_t
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_reject_shallow_cross_skew() {
+        // A legal diamond width but cross_skew < radius: adjacent cross
+        // windows read each other's previous step in both directions.
+        use crate::diamond::DiamondAxis;
+        let spec = DiamondSpec::new(2, 2, 4, 0, 4, 4, DiamondAxis::X);
+        let model = DepModel {
+            radius: 2,
+            levels: 3,
+        };
+        let res = check_diamond_dependencies(SHAPE, 4, model, &spec);
+        assert!(matches!(res, Err(DiamondViolation::Cycle { .. })), "{res:?}");
     }
 
     #[test]

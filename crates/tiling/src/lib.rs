@@ -35,22 +35,32 @@
 //! stealing deques with a single join per sweep. All three produce
 //! bitwise-identical wavefields.
 //!
+//! A fourth temporally blocked schedule, [`diamond`] (MWD, Malas et al.
+//! arXiv:1410.3060), tiles time × one chosen space axis into diamonds and
+//! runs a skewed wave-front along the other axis, reusing the dataflow
+//! executor's dependency-counted substrate via its own graph builder
+//! ([`diamond::diamond_tile_graph`]). It too is bitwise identical to the
+//! schedules above.
+//!
 //! [`legality`] provides a dependency checker that validates any schedule
 //! against the stencil's radius and the circular time-buffer depth
 //! (including the tile-disjointness proof obligation of the diagonal
 //! executor, [`legality::check_diagonal_independence`], and the
-//! predecessor-set soundness proof of the dataflow executor,
-//! [`legality::check_dataflow_dependencies`]), and
+//! predecessor-set soundness proofs of the dataflow and diamond executors,
+//! [`legality::check_dataflow_dependencies`] and
+//! [`legality::check_diamond_dependencies`]), and
 //! [`autotune()`](autotune()) sweeps tile/block shapes (§IV.C, Table I).
 
 pub mod autotune;
+pub mod diamond;
 pub mod legality;
 pub mod spaceblock;
 pub mod wavefront;
 
 pub use autotune::{
-    autotune, autotune_measured, with_dataflow_variants, with_diagonal_variants, Candidate,
-    MeasuredResult, Measurement, TuneResult,
+    autotune, autotune_measured, with_dataflow_variants, with_diagonal_variants,
+    with_diamond_variants, Candidate, MeasuredResult, Measurement, TuneResult,
 };
+pub use diamond::{DiamondAxis, DiamondSpec, DiamondTile};
 pub use spaceblock::SpaceBlockSpec;
 pub use wavefront::{Slab, Tile, WavefrontSpec};

@@ -369,13 +369,13 @@ pub fn diagonal_slabs(shape: Shape, nvt: usize, spec: &WavefrontSpec) -> Vec<Sla
 }
 
 /// xy-plane overlap of two ranges (z is never tiled).
-fn xy_overlap(a: &Range3, b: &Range3) -> bool {
+pub(crate) fn xy_overlap(a: &Range3, b: &Range3) -> bool {
     a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
 }
 
 /// `r` grown by the stencil radius in x and y, clamped to the grid: the
 /// footprint a slab *reads* at the previous virtual step.
-fn dilate_xy(r: &Range3, radius: usize, shape: Shape) -> Range3 {
+pub(crate) fn dilate_xy(r: &Range3, radius: usize, shape: Shape) -> Range3 {
     Range3::new(
         (r.x0.saturating_sub(radius), (r.x1 + radius).min(shape.nx)),
         (r.y0.saturating_sub(radius), (r.y1 + radius).min(shape.ny)),

@@ -26,14 +26,25 @@ use tempest::grid::{Domain, Model, Shape};
 use tempest::par::Policy;
 use tempest::sparse::SparsePoints;
 use tempest::tiling::{
-    autotune_measured, autotune::default_candidates, with_diagonal_variants, Candidate, Measurement,
+    autotune_measured, autotune::default_candidates, with_diagonal_variants, with_diamond_variants,
+    Candidate, Measurement,
 };
 
-/// Schedule for a candidate: slab-ordered, diagonal-parallel or
-/// dependency-driven dataflow wave-front, per its `diagonal`/`dataflow`
-/// flags.
+/// Schedule for a candidate: slab-ordered, diagonal-parallel,
+/// dependency-driven dataflow, or diamond, per its
+/// `diagonal`/`dataflow`/`diamond` flags. Diamond candidates reuse `tile_x`
+/// as the diamond base width and `tile_y` as the cross-axis window.
 fn schedule_of(c: &Candidate) -> Schedule {
-    if c.dataflow {
+    if let Some(axis) = c.diamond {
+        Schedule::Diamond {
+            width: c.tile_x,
+            tile_t: c.tile_t,
+            tile_c: c.tile_y,
+            axis,
+            block_x: c.block_x,
+            block_y: c.block_y,
+        }
+    } else if c.dataflow {
         Schedule::WavefrontDataflow {
             tile_x: c.tile_x,
             tile_y: c.tile_y,
@@ -72,12 +83,20 @@ fn main() {
     let src = SparsePoints::single_center(&domain, 0.37);
     let mut solver = Acoustic::new(&model, cfg, src, None);
 
-    // Each tile geometry is tried under all three wave-front executors:
+    // Each tile geometry is tried under all three wave-front executors —
     // slab-ordered, diagonal-parallel ("/ diag") and dependency-driven
-    // dataflow ("/ dflow") — same bases, no duplicates.
+    // dataflow ("/ dflow") — plus the diamond schedule ("/ dmnd-x",
+    // "/ dmnd-y") for every geometry whose tile width is a legal diamond
+    // base width at this stencil radius. Same bases, no duplicates.
+    let radius = 4; // space order 8
     let base = default_candidates(n, n, &[4, 8, 16]);
     let mut cands = with_diagonal_variants(&base);
     cands.extend(base.iter().map(|c| c.with_dataflow()));
+    cands.extend(
+        with_diamond_variants(&base, radius, 1)
+            .into_iter()
+            .filter(|c| c.diamond.is_some()),
+    );
     println!(
         "sweeping {} candidates on a {n}³ grid, {nt} steps each…\n",
         cands.len()
@@ -190,4 +209,25 @@ fn main() {
         df_stats.elapsed,
         pct(df_share)
     );
+    // Diamond shares the single-join discipline; it only joins the
+    // comparison when the tuned tile width is a legal diamond base width.
+    match with_diamond_variants(&[geometry], radius, 1)
+        .into_iter()
+        .find(|c| c.diamond.is_some())
+    {
+        Some(dm) => {
+            let (dm_stats, dm_share) = run_share(&mut solver, &dm);
+            println!(
+                "  diamond  (single join per sweep)      {:>8.3?}  barrier-wait {}",
+                dm_stats.elapsed,
+                pct(dm_share)
+            );
+        }
+        None => println!(
+            "  diamond: tile width {} is not a legal diamond base width at \
+             radius {radius}, tile_t {} (needs a multiple of 2·tile_t with \
+             width/(2·tile_t) ≥ radius)",
+            geometry.tile_x, geometry.tile_t
+        ),
+    }
 }

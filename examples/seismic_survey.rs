@@ -76,15 +76,24 @@ fn main() {
         dflow.gpoints_per_s,
         dflow.gpoints_per_s / base.gpoints_per_s
     );
+    let (dmnd, dmnd_profile, dmnd_trace, dmnd_meta) =
+        solver.run_traced(&Execution::diamond_default());
+    println!(
+        "diamond  : {:>7.3} GPts/s  speedup {:.2}x",
+        dmnd.gpoints_per_s,
+        dmnd.gpoints_per_s / base.gpoints_per_s
+    );
 
     // Head-to-head synchronisation cost: one barrier per anti-diagonal vs a
-    // single join per sweep. Both run the same tile geometry, so the
-    // barrier-wait share isolates the scheduling discipline.
-    if !diag_profile.is_empty() && !dflow_profile.is_empty() {
+    // single join per sweep (dataflow and diamond both run barrier-free on
+    // the dependency-counted substrate), so the barrier-wait share isolates
+    // the scheduling discipline.
+    if !diag_profile.is_empty() && !dflow_profile.is_empty() && !dmnd_profile.is_empty() {
         println!(
-            "\nbarrier-wait share: diagonal {:>5.1}%  vs  dataflow {:>5.1}%",
+            "\nbarrier-wait share: diagonal {:>5.1}%  vs  dataflow {:>5.1}%  vs  diamond {:>5.1}%",
             100.0 * diag_profile.barrier_wait_share(),
-            100.0 * dflow_profile.barrier_wait_share()
+            100.0 * dflow_profile.barrier_wait_share(),
+            100.0 * dmnd_profile.barrier_wait_share()
         );
     }
 
@@ -93,6 +102,7 @@ fn main() {
         (wtb_profile, wtb_trace, wtb_meta),
         (diag_profile, diag_trace, diag_meta),
         (dflow_profile, dflow_trace, dflow_meta),
+        (dmnd_profile, dmnd_trace, dmnd_meta),
     ] {
         if profile.is_empty() {
             continue; // profiling off (or built without --features obs)

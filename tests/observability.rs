@@ -17,7 +17,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use tempest::core::config::EquationKind;
-use tempest::core::operator::{KernelPath, Schedule, SparseMode};
+use tempest::core::operator::{DiamondAxis, KernelPath, Schedule, SparseMode};
 use tempest::core::sources::{ReceiverBundle, SourceBundle};
 use tempest::core::{Acoustic, Elastic, Execution, SimConfig, Tti, WaveSolver};
 use tempest::grid::{Domain, ElasticModel, Model, Rng64, Shape, TtiModel};
@@ -89,6 +89,20 @@ fn schedules() -> Vec<(&'static str, Schedule, SparseMode)> {
                 tile_x: 8,
                 tile_y: 8,
                 tile_t: 3,
+                block_x: 4,
+                block_y: 4,
+            },
+            SparseMode::FusedCompressed,
+        ),
+        (
+            "diamond",
+            // Width 24 at tile_t 3: slope 4 single-phase (acoustic/TTI,
+            // radius 2) and slope 2 two-phase (elastic so4, radius 2).
+            Schedule::Diamond {
+                width: 24,
+                tile_t: 3,
+                tile_c: 8,
+                axis: DiamondAxis::X,
                 block_x: 4,
                 block_y: 4,
             },
@@ -194,6 +208,21 @@ fn check_schedule<F: FnMut(&Execution)>(
                     p.counter(Counter::DataflowReady) > 0,
                     "{label}: every tile must pass through the ready state"
                 );
+            }
+            Schedule::Diamond { .. } => {
+                // Diamond tiles run on the dataflow substrate: tile and
+                // ready counters move, no sweeps/slabs/diagonals.
+                assert!(
+                    p.counter(Counter::WavefrontTiles) > 0,
+                    "{label}: no tiles"
+                );
+                assert!(
+                    p.counter(Counter::DataflowReady) > 0,
+                    "{label}: every diamond tile must pass through the ready state"
+                );
+                assert_eq!(p.counter(Counter::SpaceSweeps), 0, "{label}");
+                assert_eq!(p.counter(Counter::WavefrontSlabs), 0, "{label}");
+                assert_eq!(p.counter(Counter::WavefrontDiagonals), 0, "{label}");
             }
         }
         let mut counts: Vec<u64> = Counter::ALL.iter().map(|&c| p.counter(c)).collect();

@@ -216,6 +216,48 @@ fn traced_dataflow_run_covers_every_tile_with_zero_drops() {
 
 #[cfg(feature = "obs")]
 #[test]
+fn traced_diamond_run_covers_every_tile_with_zero_drops() {
+    // Satellite acceptance: the diamond schedule must trace one tile span
+    // per (non-empty) diamond tile with correct (row, k, ct, t0, t1)
+    // coordinates and lose nothing at the default ring capacity.
+    let _g = guard();
+    let mut s = acoustic64();
+    let exec = Execution::diamond_default();
+    let (stats, profile, trace, _) = s.run_traced(&exec);
+    assert_eq!(stats.nt, NT);
+    assert!(!profile.is_empty(), "profiling gate is on");
+    assert_eq!(trace.dropped, 0, "diamond 64³×8 must fit the default ring");
+    assert_eq!(trace.capacity, obs::trace::DEFAULT_CAPACITY);
+
+    let spec = exec.diamond_spec(2, 1);
+    let mut expected = Vec::new();
+    tempest::tiling::diamond::for_each_diamond_tile(Shape::cube(N), NT, &spec, |t| {
+        expected.push(*t)
+    });
+    assert!(expected.len() > 1, "the case must actually tile");
+    assert_eq!(trace.count(SpanKind::Tile), expected.len());
+    for t in &expected {
+        let found = trace.events_of(SpanKind::Tile).any(|e| {
+            e.args.diagonal == t.row as i32
+                && e.args.tx == t.k as i32
+                && e.args.ty == t.ct as i32
+                && e.args.t0 == t.t0 as i32
+                && e.args.t1 == t.t1 as i32
+        });
+        assert!(found, "no tile span for {t:?}");
+    }
+    // One whole-sweep diamond span; no other executor's coordinator spans.
+    assert_eq!(trace.count(SpanKind::Diamond), 1);
+    assert_eq!(trace.count(SpanKind::Dataflow), 0, "no dataflow sweep ran");
+    assert_eq!(trace.count(SpanKind::Diagonal), 0, "no diagonal barriers ran");
+    assert_eq!(trace.count(SpanKind::Slab), 0, "no slab coordinator ran");
+    assert!(trace.count(SpanKind::Stencil) > 0, "stencil phases traced");
+    assert_well_nested(&trace);
+    obs::trace::set_enabled(false);
+}
+
+#[cfg(feature = "obs")]
+#[test]
 fn slab_and_sweep_schedules_record_their_own_spans() {
     let _g = guard();
     let mut s = acoustic64();
