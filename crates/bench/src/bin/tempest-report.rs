@@ -25,6 +25,7 @@ use tempest_bench::{setup, sweep};
 use tempest_core::operator::KernelPath;
 use tempest_core::{Execution, WaveSolver};
 use tempest_obs as obs;
+use tempest_survey::SurveyOptions;
 
 struct ReportArgs {
     size: usize,
@@ -123,6 +124,7 @@ fn parse_args() -> ReportArgs {
                 for (label, exec) in schedules(None) {
                     println!("{label:20} {}", exec.schedule_label());
                 }
+                println!("{SURVEY_SCHEDULE:20} multi-shot survey engine (shot-level sharding)");
                 std::process::exit(0);
             }
             "--baseline" => {
@@ -165,6 +167,10 @@ fn kernel_label(k: KernelPath) -> &'static str {
     }
 }
 
+/// The survey pseudo-schedule: not an [`Execution`] but a whole multi-shot
+/// run through `tempest-survey`, reported as one extra matrix row.
+const SURVEY_SCHEDULE: &str = "survey";
+
 /// The measured schedules: tuned-shape defaults rather than a tuning sweep —
 /// the gate wants stable, comparable configurations, not the fastest ones.
 fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
@@ -179,9 +185,10 @@ fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
         None => all,
         Some(names) => {
             for n in names {
-                if !all.iter().any(|(label, _)| label == n) {
+                if n != SURVEY_SCHEDULE && !all.iter().any(|(label, _)| label == n) {
                     eprintln!(
-                        "unknown schedule {n:?} (want one of {:?}; see --list-schedules)",
+                        "unknown schedule {n:?} (want one of {:?} or {SURVEY_SCHEDULE:?}; \
+                         see --list-schedules)",
                         all.iter().map(|(l, _)| *l).collect::<Vec<_>>()
                     );
                     std::process::exit(2);
@@ -192,6 +199,11 @@ fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
                 .collect()
         }
     }
+}
+
+/// Whether the `--schedules` filter keeps the survey row (kept by default).
+fn wants_survey(filter: Option<&[String]>) -> bool {
+    filter.map(|names| names.iter().any(|n| n == SURVEY_SCHEDULE)).unwrap_or(true)
 }
 
 fn build_solver(model: &str, size: usize, so: usize, nt: usize) -> Box<dyn WaveSolver> {
@@ -272,6 +284,36 @@ fn main() {
                 report.entries.push(entry);
             }
         }
+    }
+
+    // The survey row: the same acoustic problem, but a 4-shot line driven
+    // through the `tempest-survey` engine — shot-level sharding above the
+    // tile-level fleet, batch asset reuse (DESIGN.md §14). Single-shot rows
+    // measure one time loop; this one measures survey orchestration.
+    if wants_survey(args.schedules.as_deref()) {
+        const SURVEY_SHOTS: usize = 4;
+        let survey = setup::survey(args.size, args.so, args.nt, SURVEY_SHOTS, 8);
+        let opts = SurveyOptions::default();
+        let (entry, trace) =
+            BenchReport::measure_survey_entry(&survey, &opts, args.repeats, "pencil");
+        println!(
+            "  acoustic {SURVEY_SCHEDULE} ({SURVEY_SHOTS} shots) pencil: {:.3} GPts/s \
+             (barrier {:.1}%, {} trace events)",
+            entry.gpts_per_s,
+            100.0 * entry.barrier_wait_share,
+            trace.events.len(),
+        );
+        table.row(&[
+            entry.model.clone(),
+            entry.schedule.clone(),
+            entry.kernel.clone(),
+            f3(entry.gpts_per_s),
+            format!("{:.1}", 100.0 * entry.barrier_wait_share),
+            format!("{:.2}", entry.worst_imbalance),
+            format!("{:.3}", entry.critical_path_ms),
+            entry.dropped_events.to_string(),
+        ]);
+        report.entries.push(entry);
     }
     table.print();
 

@@ -110,6 +110,50 @@ impl BenchReport {
         (entry, trace, meta)
     }
 
+    /// Measure a whole multi-shot survey (shot-level sharding over the
+    /// worker fleet, batch asset reuse — DESIGN.md §14) as one matrix row,
+    /// best of `repeats`. Throughput counts every shot's full time loop over
+    /// the nominal grid — the same point-update definition as
+    /// [`tempest_core::RunStats`] — so the row is comparable to the
+    /// single-shot schedule rows. The schedule label encodes the shot count
+    /// so baselines keyed on it stay stable.
+    pub fn measure_survey_entry(
+        survey: &tempest_survey::Survey,
+        opts: &tempest_survey::SurveyOptions,
+        repeats: usize,
+        kernel_label: &str,
+    ) -> (BenchEntry, obs::trace::Trace) {
+        assert!(repeats >= 1);
+        let cfg = survey.cfg();
+        let updates = (survey.len() * cfg.nt * cfg.shape().len()) as f64;
+        let mut best: Option<(std::time::Duration, obs::Profile, obs::trace::Trace)> = None;
+        for _ in 0..repeats {
+            obs::reset();
+            obs::trace::reset();
+            let started = std::time::Instant::now();
+            tempest_survey::run_survey(survey, opts).expect("survey benchmark run failed");
+            let elapsed = started.elapsed();
+            if best.as_ref().map(|(e, _, _)| elapsed < *e).unwrap_or(true) {
+                best = Some((elapsed, obs::snapshot(), obs::trace::snapshot()));
+            }
+        }
+        let (elapsed, profile, trace) = best.unwrap();
+        let analysis = TraceAnalysis::from_trace(&trace);
+        let secs = elapsed.as_secs_f64().max(1e-12);
+        let entry = BenchEntry {
+            model: format!("acoustic-so{}", cfg.space_order),
+            schedule: obs::sanitize_label(&format!("survey_{}shot", survey.len())),
+            kernel: kernel_label.to_string(),
+            gpts_per_s: updates / secs / 1e9,
+            elapsed_s: secs,
+            barrier_wait_share: profile.barrier_wait_share(),
+            worst_imbalance: analysis.worst_imbalance,
+            critical_path_ms: analysis.critical_path_ns as f64 / 1e6,
+            dropped_events: trace.dropped,
+        };
+        (entry, trace)
+    }
+
     /// Serialise (schema in DESIGN.md §11).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -353,6 +397,22 @@ mod tests {
         let h = host_name();
         assert!(!h.is_empty());
         assert!(h.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+    }
+
+    #[test]
+    fn measure_survey_entry_produces_throughput() {
+        let s = crate::setup::survey(16, 4, 4, 2, 3);
+        let (e, _trace) = BenchReport::measure_survey_entry(
+            &s,
+            &tempest_survey::SurveyOptions::default(),
+            1,
+            "pencil",
+        );
+        assert_eq!(e.model, "acoustic-so4");
+        assert_eq!(e.schedule, "survey_2shot");
+        assert_eq!(e.key(), "acoustic-so4/survey_2shot/pencil");
+        assert!(e.gpts_per_s > 0.0);
+        assert!(e.elapsed_s > 0.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use tempest_core::config::EquationKind;
 use tempest_core::{Acoustic, Elastic, SimConfig, Tti};
 use tempest_grid::{Domain, ElasticModel, Model, Shape, TtiModel};
 use tempest_sparse::SparsePoints;
+use tempest_survey::Survey;
 
 /// Propagation time that yields roughly `nt` steps for the acoustic case at
 /// paper-like velocities — builders then pin `nt` exactly.
@@ -54,6 +55,21 @@ pub fn elastic(size: usize, so: usize, nt: usize, receivers: usize) -> Elastic {
     Elastic::new(&model, cfg, src, rec)
 }
 
+/// Build the multi-shot survey benchmark problem: the acoustic setup with a
+/// shot line across the top of the domain instead of the single centre
+/// source, driven through the `tempest-survey` engine (DESIGN.md §14).
+pub fn survey(size: usize, so: usize, nt: usize, shots: usize, receivers: usize) -> Survey {
+    let domain = Domain::uniform(Shape::cube(size), 10.0);
+    let model = Model::random(domain, 1500.0, VMAX, 0xACu64);
+    let cfg = SimConfig::new(domain, so, EquationKind::Acoustic, VMAX, 512.0).with_nt(nt);
+    let mut s = Survey::new(model, cfg);
+    if receivers > 0 {
+        s = s.with_receivers(SparsePoints::receiver_line(&domain, receivers, 0.2));
+    }
+    s.add_shot_line(shots, 0.37);
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +89,16 @@ mod tests {
         let mut e = elastic(16, 4, 4, 3);
         e.run(&Execution::baseline().sequential());
         assert!(e.final_field().max_abs() > 0.0);
+    }
+
+    #[test]
+    fn survey_builder_is_runnable() {
+        let s = survey(16, 4, 4, 2, 3);
+        assert_eq!(s.len(), 2);
+        let out =
+            tempest_survey::run_survey(&s, &tempest_survey::SurveyOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.gather.is_some()));
     }
 
     #[test]

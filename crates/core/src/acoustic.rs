@@ -44,15 +44,34 @@ pub struct Acoustic {
     trace: Option<TraceBuffer>,
 }
 
-impl Acoustic {
-    /// Build a propagator over `model` with the given sources and optional
-    /// receivers. Wavelets are Ricker at `cfg.f0`.
-    pub fn new(
-        model: &Model,
-        cfg: SimConfig,
-        sources: SparsePoints,
-        receivers: Option<SparsePoints>,
-    ) -> Self {
+/// Everything an acoustic shot solve needs that does *not* depend on the
+/// source position: leap-frog coefficient volumes (damping + model), FD
+/// axis weights, the receiver gather precomputation, and the shared Ricker
+/// wavelet samples. Built once per `(model, config, receiver-set)` and
+/// reused across every shot of a survey batch — the batch-level reuse rule
+/// of the survey engine (DESIGN.md §14). `Clone` is cheap relative to
+/// rebuilding: it copies volumes but re-runs no interpolation precompute.
+#[derive(Clone)]
+pub struct ShotAssets {
+    cfg: SimConfig,
+    c1: Array3<f32>,
+    c2: Array3<f32>,
+    c3: Array3<f32>,
+    wx: Vec<f32>,
+    wy: Vec<f32>,
+    wz: Vec<f32>,
+    center: f32,
+    radius: usize,
+    rec: Option<ReceiverBundle>,
+    /// Ricker samples at `cfg.f0` — one column of the per-shot wavelet
+    /// matrix, shared so shots do not re-evaluate the transcendentals.
+    ricker: Vec<f32>,
+}
+
+impl ShotAssets {
+    /// Precompute the shot-independent assets for `model` under `cfg`, with
+    /// an optional shared receiver set.
+    pub fn new(model: &Model, cfg: SimConfig, receivers: Option<SparsePoints>) -> Self {
         assert_eq!(model.shape(), cfg.shape(), "model/config shape mismatch");
         let shape = cfg.shape();
         let radius = cfg.radius();
@@ -76,13 +95,9 @@ impl Acoustic {
             c3.as_mut_slice()[i] = dt2 / m * inv;
         }
 
-        let src = SourceBundle::with_ricker(&cfg.domain, sources, cfg.f0, cfg.dt, cfg.nt);
         let rec = receivers.map(|r| ReceiverBundle::new(&cfg.domain, r));
-        let trace = rec
-            .as_ref()
-            .map(|r| TraceBuffer::new(cfg.nt, r.num_receivers()));
-        Acoustic {
-            ring: LevelRing::new_lane_aligned(shape, radius, 3, LANE),
+        let ricker = tempest_sparse::ricker(cfg.f0, cfg.dt, cfg.nt);
+        ShotAssets {
             cfg,
             c1,
             c2,
@@ -92,6 +107,70 @@ impl Acoustic {
             wz: awz.side,
             center,
             radius,
+            rec,
+            ricker,
+        }
+    }
+
+    /// The simulation configuration the assets were built for.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The shared receiver bundle, when receivers were attached.
+    pub fn receivers(&self) -> Option<&ReceiverBundle> {
+        self.rec.as_ref()
+    }
+}
+
+impl Acoustic {
+    /// Build a propagator over `model` with the given sources and optional
+    /// receivers. Wavelets are Ricker at `cfg.f0`.
+    pub fn new(
+        model: &Model,
+        cfg: SimConfig,
+        sources: SparsePoints,
+        receivers: Option<SparsePoints>,
+    ) -> Self {
+        Self::from_assets(&ShotAssets::new(model, cfg, receivers), sources)
+    }
+
+    /// Build a propagator from precomputed [`ShotAssets`], paying only the
+    /// per-shot cost (source precompute + a fresh wavefield ring). Wavelets
+    /// are the assets' shared Ricker — bitwise-identical to
+    /// [`new`](Self::new) on the same inputs.
+    pub fn from_assets(assets: &ShotAssets, sources: SparsePoints) -> Self {
+        let wavelets =
+            tempest_sparse::wavelet::wavelet_matrix(&assets.ricker, sources.len());
+        Self::from_assets_with_wavelets(assets, sources, wavelets)
+    }
+
+    /// Build from precomputed [`ShotAssets`] with explicit per-source
+    /// wavelets (`wavelets[t][s]`, `cfg.nt` rows) — the adjoint/RTM shape
+    /// of [`new_with_wavelets`](Self::new_with_wavelets).
+    pub fn from_assets_with_wavelets(
+        assets: &ShotAssets,
+        sources: SparsePoints,
+        wavelets: Array2<f32>,
+    ) -> Self {
+        assert_eq!(wavelets.dims()[0], assets.cfg.nt, "one wavelet row per timestep");
+        let cfg = assets.cfg.clone();
+        let src = SourceBundle::new(&cfg.domain, sources, wavelets);
+        let rec = assets.rec.clone();
+        let trace = rec
+            .as_ref()
+            .map(|r| TraceBuffer::new(cfg.nt, r.num_receivers()));
+        Acoustic {
+            ring: LevelRing::new_lane_aligned(cfg.shape(), assets.radius, 3, LANE),
+            cfg,
+            c1: assets.c1.clone(),
+            c2: assets.c2.clone(),
+            c3: assets.c3.clone(),
+            wx: assets.wx.clone(),
+            wy: assets.wy.clone(),
+            wz: assets.wz.clone(),
+            center: assets.center,
+            radius: assets.radius,
             src,
             rec,
             trace,
@@ -466,9 +545,22 @@ impl Acoustic {
         self.ring.checkpoint()
     }
 
-    /// Restore a [`checkpoint`](Self::checkpoint) taken on this propagator.
+    /// Restore a [`checkpoint`](Self::checkpoint) taken on this propagator —
+    /// or on any propagator of identical ring geometry (same shape, radius
+    /// and alignment), which is how checkpointed RTM re-materialises forward
+    /// state on a receiver-free twin without double-accumulating traces.
     pub fn restore_checkpoint(&mut self, cp: &RingCheckpoint) {
         self.ring.restore(cp);
+    }
+
+    /// Interior copy of the wavefield after timestep `k` (ring level
+    /// `k + 2`), taken while quiescent between [`run_range`](Self::run_range)
+    /// segments. Bitwise-identical to the snapshot
+    /// [`run_recording`](Self::run_recording) would have stored at the same
+    /// step, so segment-wise stepping can reproduce a recorded history
+    /// exactly.
+    pub fn field_after(&mut self, k: usize) -> Array3<f32> {
+        self.ring.interior_copy(k + 2)
     }
 
     /// Interior copy of a time level while quiescent (between sweeps).

@@ -10,6 +10,7 @@ use tempest_sparse::{
 };
 
 /// A set of sources with their wavelets, in both representations.
+#[derive(Clone)]
 pub struct SourceBundle {
     /// Off-grid source positions.
     pub points: SparsePoints,
@@ -61,6 +62,7 @@ impl SourceBundle {
 }
 
 /// A set of receivers in both representations.
+#[derive(Clone)]
 pub struct ReceiverBundle {
     /// Off-grid receiver positions.
     pub points: SparsePoints,

@@ -57,6 +57,13 @@ pub mod trace;
 ///   (`KernelPath::Pencil`); zero when a run uses the scalar per-point path.
 ///   Deterministic for a given schedule and grid, independent of the thread
 ///   policy.
+/// * `ShotStarted` / `ShotCompleted` — shot solves begun / finished by the
+///   survey engine (`tempest-survey`). A shot that panics is started but
+///   never completed; a cancelled job's unrun shots count as neither. Both
+///   are deterministic across thread caps for a given survey.
+/// * `BatchAutotune` — batch-level autotune passes run by the survey engine:
+///   one per shot batch that tuned a schedule (subsequent batches sharing
+///   the model reuse the result and do not count).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Counter {
@@ -72,10 +79,13 @@ pub enum Counter {
     DataflowSteals,
     SpaceSweeps,
     PencilRows,
+    ShotStarted,
+    ShotCompleted,
+    BatchAutotune,
 }
 
 impl Counter {
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
     pub const ALL: [Counter; Self::COUNT] = [
         Counter::StencilUpdates,
         Counter::SourceInjections,
@@ -89,6 +99,9 @@ impl Counter {
         Counter::DataflowSteals,
         Counter::SpaceSweeps,
         Counter::PencilRows,
+        Counter::ShotStarted,
+        Counter::ShotCompleted,
+        Counter::BatchAutotune,
     ];
 
     pub fn name(self) -> &'static str {
@@ -105,6 +118,9 @@ impl Counter {
             Counter::DataflowSteals => "dataflow_steals",
             Counter::SpaceSweeps => "space_sweeps",
             Counter::PencilRows => "pencil_rows",
+            Counter::ShotStarted => "shot_started",
+            Counter::ShotCompleted => "shot_completed",
+            Counter::BatchAutotune => "batch_autotune",
         }
     }
 }

@@ -43,7 +43,8 @@ pub const DEFAULT_CAPACITY: usize = 262_144;
 /// sweep; `Diamond` the same for one diamond-schedule sweep;
 /// `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
 /// `run_batch` caller's wait for workers or a dataflow participant's idle
-/// wait for a ready tile.
+/// wait for a ready tile; `Shot` one whole shot solve of the survey engine
+/// (the shot index rides in `vt`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
 pub enum SpanKind {
@@ -56,10 +57,11 @@ pub enum SpanKind {
     Stencil,
     Sparse,
     BarrierWait,
+    Shot,
 }
 
 impl SpanKind {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
     pub const ALL: [SpanKind; Self::COUNT] = [
         SpanKind::Tile,
         SpanKind::Slab,
@@ -70,6 +72,7 @@ impl SpanKind {
         SpanKind::Stencil,
         SpanKind::Sparse,
         SpanKind::BarrierWait,
+        SpanKind::Shot,
     ];
 
     pub fn name(self) -> &'static str {
@@ -83,6 +86,7 @@ impl SpanKind {
             SpanKind::Stencil => "stencil",
             SpanKind::Sparse => "sparse",
             SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Shot => "shot",
         }
     }
 }
@@ -157,6 +161,11 @@ impl SpanArgs {
             vt: vt as i32,
             ..Self::default()
         }
+    }
+
+    /// One shot solve of the survey engine; the shot index rides in `vt`.
+    pub fn shot(index: usize) -> Self {
+        Self::step(index)
     }
 
     /// The coordinator-side span of one anti-diagonal batch.

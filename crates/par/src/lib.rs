@@ -34,6 +34,7 @@
 //! synchronisation is one join at the end of the whole graph — no per-level
 //! barriers.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -92,6 +93,111 @@ pub fn available_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Nested-dispatch accounting and scoped thread budgets.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// True while this thread is executing items of a published job (as the
+    /// publishing caller or as a pool worker helping it).
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+    /// Scoped dispatch cap installed by [`with_thread_budget`];
+    /// `usize::MAX` means "no budget set".
+    static BUDGET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Restores a thread-local `Cell` on drop, so panics unwinding through a
+/// dispatch (a failing shot solve, a poisoned test) cannot leave the thread
+/// marked busy or budget-capped.
+struct CellRestore {
+    cell: &'static std::thread::LocalKey<Cell<usize>>,
+    prev: usize,
+}
+
+impl Drop for CellRestore {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.prev));
+    }
+}
+
+struct DispatchMark {
+    prev: bool,
+}
+
+impl DispatchMark {
+    fn enter() -> Self {
+        let prev = IN_DISPATCH.with(|c| c.replace(true));
+        DispatchMark { prev }
+    }
+}
+
+impl Drop for DispatchMark {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_DISPATCH.with(|c| c.set(prev));
+    }
+}
+
+/// True while the calling thread is executing items of a published job.
+fn in_dispatch() -> bool {
+    IN_DISPATCH.with(Cell::get)
+}
+
+/// The calling thread's scoped dispatch budget: the maximum number of
+/// threads (including the caller) any dispatch it makes may use.
+/// `usize::MAX` when no [`with_thread_budget`] scope is active.
+pub fn thread_budget() -> usize {
+    BUDGET.with(Cell::get)
+}
+
+/// Run `f` with every dispatch the calling thread makes capped to at most
+/// `threads` participants (including the caller), composing with any
+/// narrower `Policy::Capped` the dispatch itself carries. Budgets nest: an
+/// inner scope can only narrow the outer one, never widen it.
+///
+/// This is the thread-budget split of shot-over-tile parallelism: a survey
+/// worker that owns `k` of the fleet's threads wraps its whole shot solve in
+/// `with_thread_budget(k, …)`, so the solve's tile dispatches are published
+/// with cap `k` instead of flooding the shared board — and a budget of 1
+/// keeps the solve entirely on the worker's own thread. A budget > 1 also
+/// re-enables board publication from inside a pool job (nested dispatches
+/// without a budget run inline; see `run_batch`).
+pub fn with_thread_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let threads = threads.max(1);
+    let prev = BUDGET.with(|c| {
+        let prev = c.get();
+        c.set(prev.min(threads));
+        prev
+    });
+    let _restore = CellRestore {
+        cell: &BUDGET,
+        prev,
+    };
+    f()
+}
+
+/// Apply the thread-local budget to a dispatch cap.
+fn budgeted(cap: usize) -> usize {
+    cap.min(thread_budget())
+}
+
+/// Should a dispatch with (budgeted) cap `cap` run inline on the calling
+/// thread instead of publishing to the board?
+///
+/// Any dispatch made from inside a running job item runs inline unless a
+/// [`with_thread_budget`] scope explicitly grants it more than one thread.
+/// Before this rule, a nested `Policy::Parallel` dispatch re-published to
+/// the single shared board with an unbounded cap: every parked worker piled
+/// onto the innermost job while the outer job's stragglers convoyed behind
+/// 1 ms timeout re-checks — oversubscription that grew with nesting depth.
+/// Inline execution keeps nested work on the thread that already owns a
+/// fleet slot, and counts each item's `ParTasks` exactly once (the inline
+/// path is the only accounting site, so an item can never be charged by
+/// both the nested job and its outer publication).
+fn nested_inline(cap: usize) -> bool {
+    in_dispatch() && (thread_budget() == usize::MAX || cap <= 1)
 }
 
 // ---------------------------------------------------------------------------
@@ -213,6 +319,7 @@ fn worker_loop(id: usize, board: Arc<Board>) {
         if let Some((work, cap)) = job {
             // Caller counts as one participant; workers 0..cap-1 join it.
             if id + 1 < cap {
+                let _mark = DispatchMark::enter();
                 work.help();
             }
         }
@@ -225,8 +332,9 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     if n == 0 {
         return;
     }
+    let cap = budgeted(cap);
     let p = pool();
-    if n == 1 || cap <= 1 || p.workers == 0 {
+    if n == 1 || cap <= 1 || p.workers == 0 || nested_inline(cap) {
         for i in 0..n {
             f(i);
         }
@@ -256,7 +364,10 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     obs::add(obs::Counter::ParPublications, 1);
     // The caller works too — and afterwards waits for stragglers.
-    job.help();
+    {
+        let _mark = DispatchMark::enter();
+        job.help();
+    }
     let wait = obs::start(obs::Phase::BarrierWait);
     let wait_sp = obs::trace::span(obs::trace::SpanKind::BarrierWait, obs::trace::SpanArgs::none());
     let mut fin = job.finished.lock().unwrap();
@@ -552,8 +663,8 @@ where
     }
     let p = pool();
     let pol = effective(policy, n);
-    let cap = cap_of(pol);
-    if pol == Policy::Sequential || n == 1 || cap <= 1 || p.workers == 0 {
+    let cap = budgeted(cap_of(pol));
+    if pol == Policy::Sequential || n == 1 || cap <= 1 || p.workers == 0 || nested_inline(cap) {
         run_dataflow_seq(graph, &f);
         return;
     }
@@ -599,7 +710,10 @@ where
     obs::add(obs::Counter::ParPublications, 1);
     // The caller works too; for dataflow, `help` returning *is* the join,
     // and the caller is the one participant whose idle bills `BarrierWait`.
-    job.help(true);
+    {
+        let _mark = DispatchMark::enter();
+        job.help(true);
+    }
     debug_assert_eq!(job.done.load(Ordering::Acquire), n);
 }
 
@@ -1014,6 +1128,134 @@ mod tests {
     #[should_panic(expected = "invalid predecessor")]
     fn dep_graph_rejects_self_edge() {
         let _ = DepGraph::from_preds(&[vec![0]]);
+    }
+
+    /// Atomic high-water mark of concurrently running items.
+    struct HighWater {
+        live: AtomicUsize,
+        max: AtomicUsize,
+    }
+
+    impl HighWater {
+        fn new() -> Self {
+            HighWater {
+                live: AtomicUsize::new(0),
+                max: AtomicUsize::new(0),
+            }
+        }
+
+        fn enter(&self) {
+            let now = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max.fetch_max(now, Ordering::SeqCst);
+        }
+
+        fn leave(&self) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+
+        fn peak(&self) -> usize {
+            self.max.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn nested_oversubscribed_configuration_completes_under_bound() {
+        // Regression: a fleet of shot-style workers each publishing inner
+        // Parallel batches and dataflow graphs used to re-publish to the one
+        // shared board with an unbounded cap, convoying the outer batch's
+        // stragglers behind 1 ms timeout re-checks. Nested dispatch now runs
+        // inline, so this completes promptly — and every item still runs
+        // exactly once.
+        let t0 = std::time::Instant::now();
+        let outer: Vec<usize> = (0..16).collect();
+        let counts: Vec<AtomicUsize> = (0..16 * 64).map(|_| AtomicUsize::new(0)).collect();
+        for round in 0..8 {
+            for_each(Policy::Parallel, &outer, |&o| {
+                // Inner flat batch.
+                for_each_index(Policy::Parallel, 64, |i| {
+                    if round == 0 {
+                        counts[o * 64 + i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                // Inner dataflow graph from the same worker.
+                let preds = layered_dag(4, 8);
+                let graph = DepGraph::from_preds(&preds);
+                run_dataflow(Policy::Parallel, &graph, |_| {});
+            });
+        }
+        assert!(
+            counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+            "nested items must run exactly once"
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "nested dispatch took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn thread_budget_caps_dispatch_concurrency() {
+        // A budget of 2 bounds every dispatch in the scope to two
+        // participants, even when the dispatch itself asks for Parallel.
+        let hw = HighWater::new();
+        with_thread_budget(2, || {
+            for_each_index(Policy::Parallel, 256, |_| {
+                hw.enter();
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                hw.leave();
+            });
+        });
+        assert!(hw.peak() >= 1);
+        assert!(hw.peak() <= 2, "budget 2 exceeded: peak {}", hw.peak());
+        // Budgets compose downwards: an inner wider budget cannot widen.
+        with_thread_budget(1, || {
+            assert_eq!(thread_budget(), 1);
+            with_thread_budget(8, || assert_eq!(thread_budget(), 1));
+        });
+        assert_eq!(thread_budget(), usize::MAX);
+    }
+
+    #[test]
+    fn thread_budget_restores_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_budget(3, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(thread_budget(), usize::MAX, "budget leaked across unwind");
+    }
+
+    #[test]
+    fn budgeted_nested_dispatch_stays_within_grant() {
+        // A worker granted an explicit budget may publish nested work; the
+        // batch still covers every item exactly once.
+        let counts: Vec<AtomicUsize> = (0..4 * 64).map(|_| AtomicUsize::new(0)).collect();
+        for_each_index(Policy::Parallel, 4, |o| {
+            with_thread_budget(2, || {
+                for_each_index(Policy::Parallel, 64, |i| {
+                    counts[o * 64 + i].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn ungranted_nested_dispatch_runs_inline() {
+        // Without an explicit budget, a nested Parallel dispatch stays on
+        // the thread that owns the outer item: per-outer-item concurrency
+        // never exceeds one.
+        let hws: Vec<HighWater> = (0..8).map(|_| HighWater::new()).collect();
+        for_each_index(Policy::Parallel, 8, |o| {
+            for_each_index(Policy::Parallel, 64, |_| {
+                hws[o].enter();
+                std::thread::sleep(std::time::Duration::from_micros(10));
+                hws[o].leave();
+            });
+        });
+        for hw in &hws {
+            assert_eq!(hw.peak(), 1, "nested batch escaped its owning thread");
+        }
     }
 
     #[test]

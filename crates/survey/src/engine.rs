@@ -1,0 +1,522 @@
+//! The survey description and the sharded execution engine.
+//!
+//! A [`Survey`] is the unit the paper's production workload is made of: one
+//! velocity model, one receiver set, many shots. [`run_survey`] executes all
+//! shots exactly once, sharded across the `tempest-par` fleet, with the
+//! shot-independent precomputation ([`tempest_core::ShotAssets`]) built once
+//! and shared:
+//!
+//! * coefficient volumes (damping + model), FD axis weights,
+//! * the receiver-gather precompute (grid-aligned positions + weights),
+//! * the shared Ricker wavelet samples.
+//!
+//! Per-shot cost is then only the source-bundle precompute and a fresh
+//! wavefield ring. The thread split between shot-level and tile-level
+//! parallelism is explicit: each shot solve runs under
+//! [`tempest_par::with_thread_budget`]`(shot_threads, …)`, so the default
+//! `shot_threads = 1` pins every solve to its worker thread and makes
+//! gathers bitwise-deterministic across `TEMPEST_THREADS` caps.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tempest_core::operator::Schedule;
+use tempest_core::{Acoustic, Execution, ShotAssets, SimConfig, WaveSolver};
+use tempest_grid::{Array2, Model};
+use tempest_obs as obs;
+use tempest_par::{with_thread_budget, Policy};
+use tempest_sparse::SparsePoints;
+
+use crate::shard::{shard_range, CancelFlag};
+
+/// One shot of a survey: a physical source position plus an optional
+/// per-shot wavelet (`None` uses the survey's shared Ricker at `cfg.f0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotSpec {
+    /// Off-the-grid physical source position (metres).
+    pub position: [f32; 3],
+    /// Per-timestep source samples; must have exactly `cfg.nt` entries.
+    pub wavelet: Option<Vec<f32>>,
+}
+
+impl ShotSpec {
+    /// A shot firing the survey's shared Ricker wavelet.
+    pub fn at(position: [f32; 3]) -> Self {
+        ShotSpec {
+            position,
+            wavelet: None,
+        }
+    }
+
+    /// A shot firing an explicit per-timestep wavelet.
+    pub fn with_wavelet(position: [f32; 3], wavelet: Vec<f32>) -> Self {
+        ShotSpec {
+            position,
+            wavelet: Some(wavelet),
+        }
+    }
+}
+
+/// A seismic survey: one shared velocity model and receiver set, many
+/// shots. All shots share the model, so the engine precomputes
+/// [`ShotAssets`] once per run and batches autotuning.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    model: Model,
+    cfg: SimConfig,
+    receivers: Option<SparsePoints>,
+    shots: Vec<ShotSpec>,
+}
+
+impl Survey {
+    /// A survey with no receivers and no shots yet.
+    pub fn new(model: Model, cfg: SimConfig) -> Self {
+        assert_eq!(
+            model.shape(),
+            cfg.shape(),
+            "model and config must share a grid"
+        );
+        Survey {
+            model,
+            cfg,
+            receivers: None,
+            shots: Vec::new(),
+        }
+    }
+
+    /// Attach the common receiver set (each shot records into its own
+    /// gather at these positions).
+    pub fn with_receivers(mut self, receivers: SparsePoints) -> Self {
+        self.receivers = Some(receivers);
+        self
+    }
+
+    /// Append one shot.
+    pub fn add_shot(&mut self, shot: ShotSpec) -> &mut Self {
+        self.shots.push(shot);
+        self
+    }
+
+    /// Append `n` shots on a horizontal line along x at depth fraction
+    /// `z_frac`, evenly spread and avoiding the domain faces — the
+    /// survey-geometry counterpart of `SparsePoints::receiver_line`.
+    pub fn add_shot_line(&mut self, n: usize, z_frac: f32) -> &mut Self {
+        let ext = self.cfg.domain.extent();
+        let origin = self.cfg.domain.origin();
+        for s in 0..n {
+            let fx = (s as f32 + 1.0) / (n as f32 + 1.0);
+            self.shots.push(ShotSpec::at([
+                origin[0] + fx * ext[0],
+                origin[1] + 0.5 * ext[1],
+                origin[2] + z_frac * ext[2],
+            ]));
+        }
+        self
+    }
+
+    /// The shared velocity model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The shared simulation configuration.
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The common receiver set, if any.
+    pub fn receivers(&self) -> Option<&SparsePoints> {
+        self.receivers.as_ref()
+    }
+
+    /// The shot list.
+    pub fn shots(&self) -> &[ShotSpec] {
+        &self.shots
+    }
+
+    /// Number of shots.
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Whether the survey has no shots.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+}
+
+/// How a survey executes.
+#[derive(Debug, Clone)]
+pub struct SurveyOptions {
+    /// Per-shot execution (schedule, sparse path, tile policy, kernels).
+    pub exec: Execution,
+    /// Shot-level fleet policy (how shots shard across workers).
+    pub policy: Policy,
+    /// Thread budget granted to each shot solve
+    /// ([`tempest_par::with_thread_budget`]). `1` (the default) keeps every
+    /// solve on its worker's own thread: receiver gathers are then
+    /// bitwise-identical across thread caps. Larger budgets re-enable tile
+    /// parallelism inside a shot.
+    pub shot_threads: usize,
+    /// Shots per batch (`0` = one batch). Batches run in order with a join
+    /// between them; errors and cancellation stop at batch boundaries.
+    pub batch_size: usize,
+    /// Autotune the space-block shape once per run on a short probe solve,
+    /// reusing the result for every shot and batch (counted by
+    /// `Counter::BatchAutotune`). Only applies to
+    /// [`Schedule::SpaceBlocked`]; the tuned shape never changes wavefield
+    /// results (block decomposition is bitwise-invariant), but under a
+    /// fused sparse path it may permute receiver-gather accumulation order.
+    pub tune: bool,
+}
+
+impl Default for SurveyOptions {
+    fn default() -> Self {
+        SurveyOptions {
+            exec: Execution::baseline(),
+            policy: Policy::default(),
+            shot_threads: 1,
+            batch_size: 0,
+            tune: false,
+        }
+    }
+}
+
+/// One completed shot: its index and (if the survey has receivers) the
+/// recorded gather `[nt × num_receivers]`.
+#[derive(Debug, Clone)]
+pub struct ShotResult {
+    /// Shot index within the survey.
+    pub index: usize,
+    /// The receiver gather, `None` when the survey has no receivers.
+    pub gather: Option<Array2<f32>>,
+}
+
+/// A failed shot: the lowest-indexed shot that errored and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotError {
+    /// Shot index within the survey.
+    pub shot: usize,
+    /// Human-readable failure reason (validation message or panic payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for ShotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shot {}: {}", self.shot, self.message)
+    }
+}
+
+/// How a streaming survey run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurveyOutcome {
+    /// Shots that ran to completion (and were streamed to the sink).
+    pub completed: usize,
+    /// Whether cancellation was observed; remaining shots were skipped.
+    pub cancelled: bool,
+}
+
+/// Run every shot of `survey` exactly once and return results ordered by
+/// shot index. Fails with the lowest-indexed [`ShotError`] if any shot is
+/// invalid or panics (remaining batches are skipped).
+pub fn run_survey(survey: &Survey, opts: &SurveyOptions) -> Result<Vec<ShotResult>, ShotError> {
+    let slots: Mutex<Vec<Option<ShotResult>>> =
+        Mutex::new((0..survey.len()).map(|_| None).collect());
+    run_survey_streaming(survey, opts, None, |r| {
+        let slot = r.index;
+        slots.lock().unwrap()[slot] = Some(r);
+    })?;
+    Ok(slots.into_inner().unwrap().into_iter().flatten().collect())
+}
+
+/// Like [`run_survey`], but streams each [`ShotResult`] to `on_shot` as it
+/// completes (from worker threads, in completion order) instead of holding
+/// all gathers until the end, and honours cooperative cancellation: the
+/// `cancel` flag is checked at shot start and between batches, so a
+/// cancelled run skips every shot not yet started and reports
+/// [`SurveyOutcome::cancelled`].
+pub fn run_survey_streaming<F>(
+    survey: &Survey,
+    opts: &SurveyOptions,
+    cancel: Option<&CancelFlag>,
+    on_shot: F,
+) -> Result<SurveyOutcome, ShotError>
+where
+    F: Fn(ShotResult) + Sync,
+{
+    let n = survey.len();
+    let was_cancelled = || cancel.is_some_and(CancelFlag::is_cancelled);
+    if n == 0 {
+        return Ok(SurveyOutcome {
+            completed: 0,
+            cancelled: was_cancelled(),
+        });
+    }
+    let assets = ShotAssets::new(
+        survey.model(),
+        survey.cfg().clone(),
+        survey.receivers().cloned(),
+    );
+    let exec = tuned_exec(survey, opts);
+    exec.validate();
+
+    let completed = AtomicUsize::new(0);
+    let errors: Mutex<Vec<ShotError>> = Mutex::new(Vec::new());
+    let shots = survey.shots();
+    let batch = if opts.batch_size == 0 {
+        n
+    } else {
+        opts.batch_size
+    };
+    let mut start = 0;
+    while start < n {
+        if was_cancelled() || !errors.lock().unwrap().is_empty() {
+            break;
+        }
+        let end = (start + batch).min(n);
+        shard_range(opts.policy, start..end, |i| {
+            if was_cancelled() {
+                return;
+            }
+            obs::add(obs::Counter::ShotStarted, 1);
+            let _sp = obs::trace::span(obs::trace::SpanKind::Shot, obs::trace::SpanArgs::shot(i));
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                with_thread_budget(opts.shot_threads, || solve_one(&assets, &shots[i], &exec))
+            }));
+            match solved {
+                Ok(Ok(gather)) => {
+                    obs::add(obs::Counter::ShotCompleted, 1);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    on_shot(ShotResult { index: i, gather });
+                }
+                Ok(Err(message)) => errors.lock().unwrap().push(ShotError { shot: i, message }),
+                Err(payload) => errors.lock().unwrap().push(ShotError {
+                    shot: i,
+                    message: panic_message(payload),
+                }),
+            }
+        });
+        start = end;
+    }
+
+    let mut errs = errors.into_inner().unwrap();
+    errs.sort_by_key(|e| e.shot);
+    if let Some(first) = errs.into_iter().next() {
+        return Err(first);
+    }
+    Ok(SurveyOutcome {
+        completed: completed.into_inner(),
+        cancelled: was_cancelled(),
+    })
+}
+
+/// Validate a shot against the survey configuration. Deterministic — the
+/// same shot fails the same way under every policy and thread cap.
+pub(crate) fn validate_shot(cfg: &SimConfig, spec: &ShotSpec) -> Result<(), String> {
+    if !spec.position.iter().all(|v| v.is_finite()) || !cfg.domain.contains_point(spec.position) {
+        return Err(format!(
+            "shot position {:?} is outside the model domain",
+            spec.position
+        ));
+    }
+    if let Some(w) = &spec.wavelet {
+        if w.len() != cfg.nt {
+            return Err(format!(
+                "custom wavelet has {} samples, expected nt = {}",
+                w.len(),
+                cfg.nt
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Build a propagator for one shot from shared assets.
+pub(crate) fn build_solver(assets: &ShotAssets, spec: &ShotSpec) -> Result<Acoustic, String> {
+    validate_shot(assets.config(), spec)?;
+    let sources = SparsePoints::new(&assets.config().domain, vec![spec.position]);
+    Ok(match &spec.wavelet {
+        None => Acoustic::from_assets(assets, sources),
+        Some(w) => Acoustic::from_assets_with_wavelets(
+            assets,
+            sources,
+            tempest_sparse::wavelet::wavelet_matrix(w, 1),
+        ),
+    })
+}
+
+fn solve_one(
+    assets: &ShotAssets,
+    spec: &ShotSpec,
+    exec: &Execution,
+) -> Result<Option<Array2<f32>>, String> {
+    let mut solver = build_solver(assets, spec)?;
+    let _ = solver.run(exec);
+    Ok(solver.trace())
+}
+
+/// Resolve the execution for this run, autotuning the space-block shape on
+/// a short probe solve when requested. The tuned result is shared by every
+/// shot and batch of the run — `Counter::BatchAutotune` counts once.
+fn tuned_exec(survey: &Survey, opts: &SurveyOptions) -> Execution {
+    let mut exec = opts.exec;
+    if !opts.tune || survey.is_empty() {
+        return exec;
+    }
+    let Schedule::SpaceBlocked { .. } = exec.schedule else {
+        return exec;
+    };
+    let probe_shot = &survey.shots()[0];
+    let cfg = survey.cfg();
+    if validate_shot(cfg, &ShotSpec::at(probe_shot.position)).is_err() {
+        return exec; // the per-shot error path will report it
+    }
+    let probe_cfg = cfg.clone().with_nt(cfg.nt.clamp(2, 6));
+    let probe_assets = ShotAssets::new(survey.model(), probe_cfg, None);
+    let shape = cfg.shape();
+    let mut best = (f64::INFINITY, exec.schedule);
+    for cand in tempest_tiling::spaceblock_candidates(shape.nx, shape.ny) {
+        let trial = Execution {
+            schedule: Schedule::SpaceBlocked {
+                block_x: cand.block_x,
+                block_y: cand.block_y,
+            },
+            ..exec
+        };
+        let mut probe = Acoustic::from_assets(
+            &probe_assets,
+            SparsePoints::new(&probe_assets.config().domain, vec![probe_shot.position]),
+        );
+        let stats = with_thread_budget(opts.shot_threads, || probe.run(&trial));
+        let secs = stats.elapsed.as_secs_f64();
+        if secs < best.0 {
+            best = (secs, trial.schedule);
+        }
+    }
+    obs::add(obs::Counter::BatchAutotune, 1);
+    exec.schedule = best.1;
+    exec
+}
+
+/// Render a panic payload as an error message (best effort).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shot solve panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_core::config::EquationKind;
+    use tempest_grid::{Domain, Shape};
+
+    fn small_survey(n_shots: usize) -> Survey {
+        let domain = Domain::uniform(Shape::cube(16), 10.0);
+        let model = Model::homogeneous(domain, 2000.0);
+        let cfg = SimConfig::new(domain, 4, EquationKind::Acoustic, 2000.0, 40.0)
+            .with_nt(6)
+            .with_boundary(3, 0.3);
+        let mut s = Survey::new(model, cfg).with_receivers(SparsePoints::receiver_line(
+            &domain, 5, 0.2,
+        ));
+        s.add_shot_line(n_shots, 0.1);
+        s
+    }
+
+    #[test]
+    fn survey_builder_places_shots_in_domain() {
+        let s = small_survey(4);
+        assert_eq!(s.len(), 4);
+        for shot in s.shots() {
+            assert!(s.cfg().domain.contains_point(shot.position));
+            assert!(validate_shot(s.cfg(), shot).is_ok());
+        }
+    }
+
+    #[test]
+    fn run_survey_returns_ordered_gathers() {
+        let s = small_survey(3);
+        let results = run_survey(&s, &SurveyOptions::default()).unwrap();
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let g = r.gather.as_ref().expect("receivers attached");
+            assert_eq!(g.dims(), [s.cfg().nt, 5]);
+            assert!(g.as_slice().iter().any(|&v| v != 0.0), "gather is silent");
+        }
+    }
+
+    #[test]
+    fn invalid_shot_yields_lowest_indexed_error() {
+        let mut s = small_survey(2);
+        s.add_shot(ShotSpec::at([1e9, 0.0, 0.0]));
+        s.add_shot(ShotSpec::with_wavelet([50.0, 50.0, 50.0], vec![0.0; 3]));
+        let err = run_survey(&s, &SurveyOptions::default()).unwrap_err();
+        assert_eq!(err.shot, 2, "lowest failing index wins: {err}");
+        assert!(err.message.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn empty_survey_completes_with_no_shots() {
+        let s = small_survey(0);
+        assert!(s.is_empty());
+        let out = run_survey_streaming(&s, &SurveyOptions::default(), None, |_| {
+            panic!("no shots should stream")
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            SurveyOutcome {
+                completed: 0,
+                cancelled: false
+            }
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_skips_every_shot() {
+        let s = small_survey(4);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let out = run_survey_streaming(&s, &SurveyOptions::default(), Some(&flag), |_| {
+            panic!("cancelled run must not stream results")
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            SurveyOutcome {
+                completed: 0,
+                cancelled: true
+            }
+        );
+    }
+
+    #[test]
+    fn tuned_run_matches_untuned_fields() {
+        // Tuning only changes the block shape; gathers under the classic
+        // sparse path are recorded receiver-by-receiver per timestep, so
+        // they stay bitwise-identical to the untuned run.
+        let s = small_survey(2);
+        let plain = run_survey(&s, &SurveyOptions::default()).unwrap();
+        let tuned = run_survey(
+            &s,
+            &SurveyOptions {
+                tune: true,
+                ..SurveyOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in plain.iter().zip(&tuned) {
+            assert_eq!(
+                a.gather.as_ref().unwrap().as_slice(),
+                b.gather.as_ref().unwrap().as_slice()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # tempest-survey
+//!
+//! Shot-level sharding above tile-level parallelism: the paper's production
+//! workload is not one solve but a *survey* — thousands of independent
+//! shots, each a full forward (or forward + adjoint) propagation with
+//! sparse off-the-grid sources (§I, §IV). This crate turns the single-shot
+//! operator stack into that service:
+//!
+//! * [`Survey`] — a shared velocity model + per-shot source position /
+//!   wavelet + a common receiver set.
+//! * [`run_survey`] — shards shots across the `tempest-par` fleet one level
+//!   up from tiles. Each shot solve runs under a scoped
+//!   [`tempest_par::with_thread_budget`], so the fleet split is explicit:
+//!   `shot_threads = 1` keeps every solve on its worker's own thread
+//!   (bitwise-deterministic across thread caps), larger budgets re-enable
+//!   tile parallelism inside a shot without flooding the shared board.
+//! * Batch reuse — shots sharing a model reuse one
+//!   [`tempest_core::ShotAssets`] precomputation (coefficient volumes,
+//!   receiver gather structures, the Ricker samples) and optionally
+//!   autotune the space-block shape once per batch
+//!   ([`SurveyOptions::tune`], counted by `Counter::BatchAutotune`).
+//! * [`queue`] — an async job-queue front (`submit` / `poll` / `cancel`,
+//!   priorities, per-job thread caps, terminal states with error payloads),
+//!   so the engine behaves like a service, not a script.
+//! * [`rtm`] — checkpointed reverse-time migration end-to-end on the
+//!   existing `LevelRing::checkpoint`/`restore` + `Acoustic::run_range`
+//!   machinery: the forward pass stores sparse ring checkpoints instead of
+//!   every snapshot, and imaging re-materialises forward state on a
+//!   receiver-free twin.
+//!
+//! Instrumentation: `Counter::ShotStarted` / `Counter::ShotCompleted` /
+//! `Counter::BatchAutotune` and `SpanKind::Shot` spans, all deterministic
+//! across thread caps (DESIGN.md §14).
+
+pub mod engine;
+pub mod queue;
+pub mod rtm;
+pub mod shard;
+
+pub use engine::{
+    run_survey, run_survey_streaming, ShotError, ShotResult, ShotSpec, Survey, SurveyOptions,
+    SurveyOutcome,
+};
+pub use queue::{JobId, JobSpec, JobState, JobStatus, SurveyService};
+pub use rtm::{rtm_image, RtmOptions};
+pub use shard::{shard, CancelFlag};

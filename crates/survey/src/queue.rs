@@ -1,0 +1,557 @@
+//! The async job-queue front of the survey engine: `submit` / `poll` /
+//! `cancel` with priorities, per-job thread caps, and terminal states
+//! carrying error payloads.
+//!
+//! ## Protocol (DESIGN.md §14)
+//!
+//! A job moves `Queued → Running → {Completed, Cancelled, Failed}` and
+//! reaches **exactly one** terminal state, exactly once — enforced by an
+//! assertion on every transition and observable through
+//! [`JobStatus::terminal_transitions`]. Cancellation is cooperative:
+//! cancelling a `Queued` job retires it immediately; cancelling a `Running`
+//! job raises its [`CancelFlag`], which the engine observes at shot
+//! boundaries. A cancelled or failed job never exposes receiver traces —
+//! any gathers streamed before the flag was observed are purged at the
+//! terminal transition.
+//!
+//! Scheduling is strict priority (higher first), FIFO within a priority
+//! (lower id first), one job at a time — each job is itself a fleet, so
+//! running two concurrently would just split the same workers. A service
+//! built with [`SurveyService::start`] processes jobs on a background
+//! scheduler thread; one built with [`SurveyService::paused`] holds every
+//! submission until [`drain`](SurveyService::drain) runs them on the
+//! calling thread — submissions and cancellations against a paused service
+//! are therefore fully deterministic, which is what the seeded stress suite
+//! leans on.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tempest_grid::Array2;
+use tempest_par::with_thread_budget;
+
+use crate::engine::{panic_message, run_survey_streaming, Survey, SurveyOptions};
+use crate::shard::CancelFlag;
+
+/// Monotonically increasing job handle, unique per service.
+pub type JobId = u64;
+
+/// Lifecycle of a job. `Completed`, `Cancelled` and `Failed` are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, waiting to be scheduled.
+    Queued,
+    /// Executing on the fleet.
+    Running,
+    /// All shots ran; gathers are available via
+    /// [`SurveyService::take_gathers`].
+    Completed,
+    /// Cancelled before or during execution; no traces are exposed.
+    Cancelled,
+    /// A shot failed or panicked; see [`JobStatus::error`]. No traces are
+    /// exposed.
+    Failed,
+}
+
+impl JobState {
+    /// Whether this state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// A survey submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The survey to run (shared, so submissions are cheap).
+    pub survey: Arc<Survey>,
+    /// Engine options for this job.
+    pub opts: SurveyOptions,
+    /// Higher runs first; ties break FIFO by submission order.
+    pub priority: i32,
+    /// Per-job thread cap: the whole job (shot fleet *and* per-shot tile
+    /// parallelism) runs under `with_thread_budget(threads)`. `0` = no cap.
+    pub threads: usize,
+}
+
+impl JobSpec {
+    /// A default-priority, uncapped job with default engine options.
+    pub fn new(survey: Arc<Survey>) -> Self {
+        JobSpec {
+            survey,
+            opts: SurveyOptions::default(),
+            priority: 0,
+            threads: 0,
+        }
+    }
+
+    /// Set the scheduling priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Cap the job's thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replace the engine options.
+    pub fn with_opts(mut self, opts: SurveyOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+}
+
+/// A point-in-time view of a job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job handle.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Scheduling priority.
+    pub priority: i32,
+    /// Shots in the job's survey.
+    pub shots_total: usize,
+    /// Shots completed so far (streams up while `Running`).
+    pub shots_done: usize,
+    /// Failure reason, set iff the state is [`JobState::Failed`].
+    pub error: Option<String>,
+    /// How many times the job entered a terminal state. The queue's
+    /// exactly-once invariant says this is `1` for every finished job —
+    /// the stress suite asserts it.
+    pub terminal_transitions: u32,
+}
+
+struct Job {
+    survey: Arc<Survey>,
+    opts: SurveyOptions,
+    priority: i32,
+    threads: usize,
+    state: JobState,
+    cancel: Arc<CancelFlag>,
+    gathers: Vec<Option<Array2<f32>>>,
+    shots_done: usize,
+    error: Option<String>,
+    terminal_transitions: u32,
+}
+
+impl Job {
+    fn status(&self, id: JobId) -> JobStatus {
+        JobStatus {
+            id,
+            state: self.state,
+            priority: self.priority,
+            shots_total: self.survey.len(),
+            shots_done: self.shots_done,
+            error: self.error.clone(),
+            terminal_transitions: self.terminal_transitions,
+        }
+    }
+
+    /// The single place a job may become terminal. Panics if it already is
+    /// — the exactly-once invariant. Non-`Completed` terminals purge any
+    /// gathers streamed before cancellation/failure was observed.
+    fn set_terminal(&mut self, state: JobState, error: Option<String>) {
+        assert!(state.is_terminal());
+        assert!(
+            !self.state.is_terminal(),
+            "job reached a second terminal state: {:?} after {:?}",
+            state,
+            self.state
+        );
+        self.terminal_transitions += 1;
+        if state != JobState::Completed {
+            self.gathers.clear();
+            self.shots_done = 0;
+        }
+        self.state = state;
+        self.error = error;
+    }
+}
+
+struct ServiceState {
+    next_id: JobId,
+    jobs: BTreeMap<JobId, Job>,
+    pending: Vec<JobId>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<ServiceState>,
+    /// Wakes the scheduler on submit / shutdown.
+    work_cv: Condvar,
+    /// Wakes [`SurveyService::wait`]ers on terminal transitions.
+    done_cv: Condvar,
+}
+
+/// The survey job queue. See the module docs for the protocol.
+pub struct SurveyService {
+    inner: Arc<Inner>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl SurveyService {
+    fn new_inner() -> Arc<Inner> {
+        Arc::new(Inner {
+            state: Mutex::new(ServiceState {
+                next_id: 0,
+                jobs: BTreeMap::new(),
+                pending: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// A paused service: submissions queue up until [`drain`](Self::drain)
+    /// runs them synchronously. Deterministic by construction.
+    pub fn paused() -> Self {
+        SurveyService {
+            inner: Self::new_inner(),
+            scheduler: None,
+        }
+    }
+
+    /// A live service: a background scheduler thread picks jobs by
+    /// (priority desc, id asc) and runs them one at a time.
+    pub fn start() -> Self {
+        let inner = Self::new_inner();
+        let worker = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("tempest-survey-scheduler".into())
+            .spawn(move || scheduler_loop(worker))
+            .expect("spawn survey scheduler");
+        SurveyService {
+            inner,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Submit a job; returns immediately with its handle.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let mut st = self.inner.state.lock().unwrap();
+        let id = st.next_id;
+        st.next_id += 1;
+        let shots = spec.survey.len();
+        st.jobs.insert(
+            id,
+            Job {
+                survey: spec.survey,
+                opts: spec.opts,
+                priority: spec.priority,
+                threads: spec.threads,
+                state: JobState::Queued,
+                cancel: Arc::new(CancelFlag::new()),
+                gathers: (0..shots).map(|_| None).collect(),
+                shots_done: 0,
+                error: None,
+                terminal_transitions: 0,
+            },
+        );
+        st.pending.push(id);
+        drop(st);
+        self.inner.work_cv.notify_one();
+        id
+    }
+
+    /// Current status of a job, or `None` for an unknown id.
+    pub fn poll(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).map(|j| j.status(id))
+    }
+
+    /// Request cancellation. Returns `true` if the job existed and was not
+    /// yet terminal: a `Queued` job retires to `Cancelled` immediately, a
+    /// `Running` job stops at its next shot boundary (its terminal state is
+    /// set by the executor). Cancelling a terminal or unknown job is a
+    /// no-op returning `false`.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state.is_terminal() {
+            return false;
+        }
+        job.cancel.cancel();
+        if job.state == JobState::Queued {
+            job.set_terminal(JobState::Cancelled, None);
+            st.pending.retain(|&p| p != id);
+            drop(st);
+            self.inner.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Block until the job is terminal and return its final status, or
+    /// `None` for an unknown id. On a paused service only jobs already
+    /// retired (e.g. cancelled while queued) return without a prior
+    /// [`drain`](Self::drain).
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let job = st.jobs.get(&id)?;
+            if job.state.is_terminal() {
+                return Some(job.status(id));
+            }
+            st = self.inner.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Run queued jobs on the calling thread until the queue is empty, in
+    /// (priority desc, id asc) order; returns how many jobs it executed.
+    /// This is the deterministic execution path of a paused service (and a
+    /// way to lend the caller's thread to a live one).
+    pub fn drain(&self) -> usize {
+        let mut ran = 0;
+        loop {
+            let picked = {
+                let mut st = self.inner.state.lock().unwrap();
+                pick(&mut st)
+            };
+            let Some(id) = picked else {
+                return ran;
+            };
+            run_job(&self.inner, id);
+            ran += 1;
+        }
+    }
+
+    /// Take the gathers of a `Completed` job (one slot per shot, `None`
+    /// where the survey had no receivers). Returns `None` for unknown,
+    /// unfinished, cancelled, or failed jobs, and for a second take —
+    /// cancelled jobs never expose traces.
+    pub fn take_gathers(&self, id: JobId) -> Option<Vec<Option<Array2<f32>>>> {
+        let mut st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get_mut(&id)?;
+        if job.state != JobState::Completed || job.gathers.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut job.gathers))
+    }
+
+    /// All job ids ever submitted, ascending.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.inner.state.lock().unwrap().jobs.keys().copied().collect()
+    }
+}
+
+impl Drop for SurveyService {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Highest priority first, FIFO (lowest id) within a priority.
+fn pick(st: &mut ServiceState) -> Option<JobId> {
+    let (slot, _) = st
+        .pending
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| (std::cmp::Reverse(st.jobs[&id].priority), id))?;
+    Some(st.pending.remove(slot))
+}
+
+fn scheduler_loop(inner: Arc<Inner>) {
+    loop {
+        let id = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = pick(&mut st) {
+                    break id;
+                }
+                st = inner.work_cv.wait(st).unwrap();
+            }
+        };
+        run_job(&inner, id);
+    }
+}
+
+/// Execute one picked job to its terminal state.
+fn run_job(inner: &Arc<Inner>, id: JobId) {
+    let (survey, opts, threads, cancel) = {
+        let mut st = inner.state.lock().unwrap();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        // A concurrent cancel() may have retired the job between pick()
+        // and here; the state check keeps the terminal transition unique.
+        if job.state != JobState::Queued {
+            return;
+        }
+        if job.cancel.is_cancelled() {
+            job.set_terminal(JobState::Cancelled, None);
+            drop(st);
+            inner.done_cv.notify_all();
+            return;
+        }
+        job.state = JobState::Running;
+        (
+            Arc::clone(&job.survey),
+            job.opts.clone(),
+            job.threads,
+            Arc::clone(&job.cancel),
+        )
+    };
+
+    // Stream each gather into the job record as the shot lands, so pollers
+    // see `shots_done` rise while the job runs.
+    let sink_inner = Arc::clone(inner);
+    let sink = move |r: crate::engine::ShotResult| {
+        let mut st = sink_inner.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.gathers[r.index] = r.gather;
+            job.shots_done += 1;
+        }
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let run = || run_survey_streaming(&survey, &opts, Some(&cancel), &sink);
+        if threads > 0 {
+            with_thread_budget(threads, run)
+        } else {
+            run()
+        }
+    }));
+
+    let mut st = inner.state.lock().unwrap();
+    let job = st.jobs.get_mut(&id).expect("running job record");
+    match outcome {
+        Err(payload) => job.set_terminal(JobState::Failed, Some(panic_message(payload))),
+        Ok(Err(e)) => job.set_terminal(JobState::Failed, Some(e.to_string())),
+        Ok(Ok(out)) if out.cancelled => job.set_terminal(JobState::Cancelled, None),
+        Ok(Ok(_)) => job.set_terminal(JobState::Completed, None),
+    }
+    drop(st);
+    inner.done_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ShotSpec;
+    use tempest_core::config::EquationKind;
+    use tempest_core::SimConfig;
+    use tempest_grid::{Domain, Model, Shape};
+    use tempest_sparse::SparsePoints;
+
+    fn tiny_survey(n_shots: usize) -> Arc<Survey> {
+        let domain = Domain::uniform(Shape::cube(12), 10.0);
+        let model = Model::homogeneous(domain, 2000.0);
+        let cfg = SimConfig::new(domain, 4, EquationKind::Acoustic, 2000.0, 30.0)
+            .with_nt(4)
+            .with_boundary(2, 0.3);
+        let mut s = Survey::new(model, cfg)
+            .with_receivers(SparsePoints::receiver_line(&domain, 3, 0.2));
+        s.add_shot_line(n_shots, 0.1);
+        Arc::new(s)
+    }
+
+    #[test]
+    fn paused_service_completes_on_drain() {
+        let svc = SurveyService::paused();
+        let id = svc.submit(JobSpec::new(tiny_survey(2)));
+        assert_eq!(svc.poll(id).unwrap().state, JobState::Queued);
+        assert_eq!(svc.drain(), 1);
+        let st = svc.poll(id).unwrap();
+        assert_eq!(st.state, JobState::Completed);
+        assert_eq!(st.shots_done, 2);
+        assert_eq!(st.terminal_transitions, 1);
+        let gathers = svc.take_gathers(id).unwrap();
+        assert_eq!(gathers.len(), 2);
+        assert!(gathers.iter().all(|g| g.is_some()));
+        // Second take yields nothing.
+        assert!(svc.take_gathers(id).is_none());
+    }
+
+    #[test]
+    fn priority_beats_fifo_and_ties_break_by_id() {
+        let svc = SurveyService::paused();
+        let a = svc.submit(JobSpec::new(tiny_survey(1)).with_priority(0));
+        let b = svc.submit(JobSpec::new(tiny_survey(1)).with_priority(5));
+        let c = svc.submit(JobSpec::new(tiny_survey(1)).with_priority(5));
+        let order = Mutex::new(Vec::new());
+        {
+            let mut st = svc.inner.state.lock().unwrap();
+            let mut o = order.lock().unwrap();
+            while let Some(id) = pick(&mut st) {
+                o.push(id);
+                // put it back as if executed
+                st.jobs.get_mut(&id).unwrap().set_terminal(JobState::Cancelled, None);
+            }
+        }
+        assert_eq!(*order.lock().unwrap(), vec![b, c, a]);
+    }
+
+    #[test]
+    fn cancel_queued_job_never_runs_or_exposes_traces() {
+        let svc = SurveyService::paused();
+        let id = svc.submit(JobSpec::new(tiny_survey(3)));
+        assert!(svc.cancel(id));
+        assert!(!svc.cancel(id), "second cancel is a no-op");
+        assert_eq!(svc.drain(), 0, "cancelled job must not be picked");
+        let st = svc.poll(id).unwrap();
+        assert_eq!(st.state, JobState::Cancelled);
+        assert_eq!(st.terminal_transitions, 1);
+        assert_eq!(st.shots_done, 0);
+        assert!(svc.take_gathers(id).is_none());
+    }
+
+    #[test]
+    fn failed_job_carries_error_payload() {
+        let svc = SurveyService::paused();
+        let domain = Domain::uniform(Shape::cube(12), 10.0);
+        let model = Model::homogeneous(domain, 2000.0);
+        let cfg = SimConfig::new(domain, 4, EquationKind::Acoustic, 2000.0, 30.0)
+            .with_nt(4)
+            .with_boundary(2, 0.3);
+        let mut s = Survey::new(model, cfg);
+        s.add_shot(ShotSpec::at([-5.0, 0.0, 0.0]));
+        let id = svc.submit(JobSpec::new(Arc::new(s)));
+        svc.drain();
+        let st = svc.poll(id).unwrap();
+        assert_eq!(st.state, JobState::Failed);
+        let err = st.error.expect("failure payload");
+        assert!(err.contains("outside"), "unexpected payload: {err}");
+        assert!(svc.take_gathers(id).is_none());
+    }
+
+    #[test]
+    fn live_service_processes_submissions() {
+        let svc = SurveyService::start();
+        let lo = svc.submit(JobSpec::new(tiny_survey(1)).with_priority(-1));
+        let hi = svc.submit(JobSpec::new(tiny_survey(2)).with_priority(9).with_threads(2));
+        let hi_st = svc.wait(hi).unwrap();
+        let lo_st = svc.wait(lo).unwrap();
+        assert_eq!(hi_st.state, JobState::Completed);
+        assert_eq!(lo_st.state, JobState::Completed);
+        assert_eq!(hi_st.shots_done, 2);
+        assert_eq!(svc.take_gathers(lo).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_refused() {
+        let svc = SurveyService::paused();
+        assert!(svc.poll(42).is_none());
+        assert!(!svc.cancel(42));
+        assert!(svc.take_gathers(42).is_none());
+    }
+}

@@ -230,6 +230,26 @@ pub fn quick_candidates(nx: usize, ny: usize, tile_ts: &[usize]) -> Vec<Candidat
     out
 }
 
+/// Candidates for per-shot *space-blocked* solves — the schedule family the
+/// survey engine tunes once per batch and reuses for every shot sharing the
+/// model (checkpointed RTM pins shots to `Schedule::SpaceBlocked`, so only
+/// the block shape is free). Tile fields are left at the whole-grid default;
+/// `tile_t` stays 1.
+pub fn spaceblock_candidates(nx: usize, ny: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for &b in &[4usize, 8, 16, 32] {
+        if b > nx.max(8) || b > ny.max(8) {
+            continue;
+        }
+        out.push(Candidate {
+            block_x: b,
+            block_y: b,
+            ..Candidate::default()
+        });
+    }
+    out
+}
+
 /// Time every candidate with `runner` and return the ranking.
 ///
 /// # Panics

@@ -58,8 +58,9 @@ pub mod spaceblock;
 pub mod wavefront;
 
 pub use autotune::{
-    autotune, autotune_measured, with_dataflow_variants, with_diagonal_variants,
-    with_diamond_variants, Candidate, MeasuredResult, Measurement, TuneResult,
+    autotune, autotune_measured, spaceblock_candidates, with_dataflow_variants,
+    with_diagonal_variants, with_diamond_variants, Candidate, MeasuredResult, Measurement,
+    TuneResult,
 };
 pub use diamond::{DiamondAxis, DiamondSpec, DiamondTile};
 pub use spaceblock::SpaceBlockSpec;

@@ -1,0 +1,118 @@
+//! Survey-scale shot orchestration through the async job queue — the
+//! production shape of the workload the paper motivates (§I): many shots
+//! into a shared model, each recorded at a receiver line, scheduled by
+//! priority with live polling and cancellation.
+//!
+//! ```text
+//! cargo run --release --example survey_service
+//! ```
+//!
+//! Three surveys are submitted to a live [`SurveyService`]: a high-priority
+//! production batch, a low-priority background sweep, and a speculative job
+//! that is cancelled mid-flight. The example polls the queue like a client
+//! would, then prints the terminal state, shot progress, and gather energy
+//! of every job. With `--features obs` the shot counters are reported too.
+
+use std::sync::Arc;
+
+use tempest::core::config::EquationKind;
+use tempest::core::SimConfig;
+use tempest::grid::{Domain, Model, Shape};
+use tempest::obs;
+use tempest::par::Policy;
+use tempest::sparse::SparsePoints;
+use tempest::survey::{JobSpec, JobState, Survey, SurveyOptions, SurveyService};
+
+fn build_survey(shots: usize, f0: f32) -> Arc<Survey> {
+    let n = 48;
+    let domain = Domain::uniform(Shape::cube(n), 10.0);
+    let model = Model::two_layer(domain, 1500.0, 2800.0, 0.55);
+    let cfg = SimConfig::new(domain, 4, EquationKind::Acoustic, model.vmax(), 120.0)
+        .with_f0(f0)
+        .with_boundary(8, 0.3);
+    let rec = SparsePoints::receiver_line(&domain, 16, 0.08);
+    let mut s = Survey::new(model, cfg).with_receivers(rec);
+    s.add_shot_line(shots, 0.08);
+    Arc::new(s)
+}
+
+fn main() {
+    obs::set_enabled(true);
+
+    let svc = SurveyService::start();
+
+    // A production batch (high priority), a background sweep (low), and a
+    // speculative job we will cancel. Priorities order the queue; the
+    // per-job thread budget caps how much of the fleet each one takes.
+    let production = svc.submit(
+        JobSpec::new(build_survey(4, 15.0))
+            .with_priority(10)
+            .with_opts(SurveyOptions {
+                policy: Policy::Parallel,
+                batch_size: 2,
+                ..SurveyOptions::default()
+            }),
+    );
+    let background = svc.submit(
+        JobSpec::new(build_survey(3, 10.0))
+            .with_priority(-5)
+            .with_threads(1),
+    );
+    let speculative = svc.submit(JobSpec::new(build_survey(6, 20.0)).with_priority(0));
+    println!("submitted: production={production} background={background} speculative={speculative}");
+
+    // Cancel the speculative job. Depending on timing it is still queued
+    // (cancelled immediately) or already running (cooperative cancel at the
+    // next batch boundary) — either way it ends Cancelled with no gathers.
+    let accepted = svc.cancel(speculative);
+    println!("cancel(speculative) accepted: {accepted}");
+
+    // Poll like a client: non-blocking status reads until all terminal.
+    let jobs = [production, background, speculative];
+    loop {
+        let mut all_done = true;
+        for id in jobs {
+            let st = svc.poll(id).expect("job record");
+            if !st.state.is_terminal() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    println!("\n job  prio  state      shots  error");
+    for id in jobs {
+        let st = svc.wait(id).expect("job record");
+        println!(
+            "  {:>2}  {:>4}  {:<9}  {}/{}  {}",
+            st.id,
+            st.priority,
+            format!("{:?}", st.state),
+            st.shots_done,
+            st.shots_total,
+            st.error.as_deref().unwrap_or("-"),
+        );
+        if st.state == JobState::Completed {
+            let gathers = svc.take_gathers(id).expect("completed gathers");
+            for (shot, g) in gathers.iter().enumerate() {
+                let g = g.as_ref().expect("receivers attached");
+                let energy: f64 =
+                    g.as_slice().iter().map(|v| (*v as f64) * (*v as f64)).sum();
+                let [nt, nrec] = g.dims();
+                println!("       shot {shot}: gather {nt}x{nrec}, energy {energy:.3e}");
+            }
+        }
+    }
+
+    if obs::enabled() {
+        let p = obs::snapshot();
+        println!(
+            "\nshot counters: started {}, completed {}",
+            p.counter(obs::Counter::ShotStarted),
+            p.counter(obs::Counter::ShotCompleted),
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   high-level [`core::operator::Execution`] API.
 //! * [`dsl`] — a mini Devito-like symbolic layer that lowers PDE definitions
 //!   to executable stencil plans.
+//! * [`survey`] — shot-level sharding over whole surveys: the async job
+//!   queue (`submit`/`poll`/`cancel`), batch asset reuse, and checkpointed
+//!   RTM. See `examples/survey_service.rs`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,4 +30,5 @@ pub use tempest_obs as obs;
 pub use tempest_par as par;
 pub use tempest_sparse as sparse;
 pub use tempest_stencil as stencil;
+pub use tempest_survey as survey;
 pub use tempest_tiling as tiling;
