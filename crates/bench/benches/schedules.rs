@@ -85,6 +85,7 @@ fn bench_schedules_end_to_end(cfg: Config) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     for c in [cand, cand.with_diagonal(), cand.with_dataflow()] {
         let label = if c.dataflow {
@@ -117,6 +118,7 @@ fn bench_thread_scaling(cfg: Config) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     for threads in [1usize, 2, 4, 8] {
         if threads > avail {
@@ -188,6 +190,7 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
             diagonal: false,
             dataflow: false,
             diamond: None,
+            kernel: None,
         };
         let mut row = Vec::new();
         for c in [cand.with_diagonal(), cand.with_dataflow()] {
@@ -389,6 +392,7 @@ fn profile_section() {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     let execs = [
         exec_spaceblocked(8, 8),

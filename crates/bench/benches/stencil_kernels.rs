@@ -3,20 +3,24 @@
 //! pencil, not just one centre row — a single row overstates cache locality
 //! and understates the y/x-stride traffic that dominates real sweeps).
 //!
-//! Each kernel is measured twice over identical iteration spaces: the
-//! per-point scalar reference (`kernels::*`) and the whole-row pencil path
-//! (`simd::*_pencil*`). The two produce bitwise-identical results (see
-//! `tempest_stencil::simd` and `tests/kernel_equivalence.rs`), so the ratio
-//! is a pure code-generation ablation: hoisted bounds checks, fixed-width
-//! lanes, and slice windows vs per-point indexing.
+//! Each kernel shape is measured once per *kernel backend* available on
+//! this host — the per-point `Scalar` reference, the autovectorizer-shaped
+//! `Portable` pencil path, and the explicit-intrinsics `Avx2` path — over
+//! identical iteration spaces through the same `Backend` row API the
+//! propagators use. All backends produce bitwise-identical results (see
+//! `tests/kernel_backends.rs`), so the ratios are pure code-generation
+//! ablations: hoisted bounds checks and lane structure (scalar → portable),
+//! then explicit unaligned 256-bit loads (portable → avx2).
+//!
+//! Per-backend rows are merged into `results/BENCH_<host>.json` (keyed
+//! `microbench-so{so}/{kernel shape}/{backend}`) so the comparison is on
+//! record next to the tempest-report matrix.
 
 use std::hint::black_box;
 use tempest_bench::microbench::{self, Config, Sample};
-use tempest_stencil::kernels::{
-    cross_diff_r, first_derivative_weights, laplacian_at_r, staggered_diff_fwd_r,
-    staggered_weights, AxisWeights,
-};
-use tempest_stencil::simd::{cross_diff_pencil_r, laplacian_pencil_r, staggered_pencil_fwd_r};
+use tempest_bench::perf_report::{host_name, BenchEntry, BenchReport};
+use tempest_stencil::kernels::{first_derivative_weights, staggered_weights, AxisWeights};
+use tempest_stencil::Backend;
 
 const N: usize = 64;
 
@@ -28,133 +32,189 @@ fn grid() -> (Vec<f32>, usize, usize) {
     (u, N * N, N)
 }
 
-/// Interior extent, elements covered, and a scratch row for pencil calls.
+/// Interior extent, elements covered, and a scratch row for row calls.
 fn interior<const R: usize>() -> (usize, usize, u64, Vec<f32>) {
     let (lo, hi) = (R, N - R);
     let n = hi - lo;
     (lo, hi, (n * n * n) as u64, vec![0.0f32; n])
 }
 
-fn report_speedup(name: &str, so: usize, scalar: &Sample, pencil: &Sample) {
-    let sp = scalar.median.as_secs_f64() / pencil.median.as_secs_f64().max(1e-12);
-    println!("  {name}/so{so}: pencil speedup {sp:.2}x over scalar");
+fn backends() -> Vec<Backend> {
+    Backend::ALL.into_iter().filter(|b| b.available()).collect()
 }
 
-fn bench_laplacian<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
+/// One BENCH-report row per measured (shape, order, backend) cell.
+fn entry(shape: &str, so: usize, backend: Backend, elems: u64, s: &Sample) -> BenchEntry {
+    let secs = s.median.as_secs_f64().max(1e-12);
+    BenchEntry {
+        model: format!("microbench-so{so}"),
+        schedule: shape.to_string(),
+        kernel: backend.name().to_string(),
+        gpts_per_s: elems as f64 / secs / 1e9,
+        elapsed_s: secs,
+        barrier_wait_share: 0.0,
+        worst_imbalance: 1.0,
+        critical_path_ms: 0.0,
+        dropped_events: 0,
+    }
+}
+
+fn report_speedups(name: &str, so: usize, rows: &[(Backend, Sample)]) {
+    let scalar = rows
+        .iter()
+        .find(|(b, _)| *b == Backend::Scalar)
+        .map(|(_, s)| s.median.as_secs_f64())
+        .unwrap_or(0.0);
+    for (b, s) in rows {
+        if *b == Backend::Scalar {
+            continue;
+        }
+        let sp = scalar / s.median.as_secs_f64().max(1e-12);
+        println!("  {name}/so{so}: {} speedup {sp:.2}x over scalar", b.name());
+    }
+}
+
+fn bench_laplacian<const R: usize>(
+    cfg: Config,
+    so: usize,
+    u: &[f32],
+    sx: usize,
+    sy: usize,
+    out_rows: &mut Vec<BenchEntry>,
+) {
     let w = AxisWeights::second_derivative(so, 10.0);
     let side: [f32; R] = w.side_array();
     let center = 3.0 * w.center;
     let (lo, hi, elems, mut out) = interior::<R>();
-    let scalar = microbench::run_elems(&format!("laplacian_scalar/so{so}"), cfg, elems, || {
-        let mut acc = 0.0f32;
-        for x in lo..hi {
-            for y in lo..hi {
-                let base = (x * N + y) * N;
-                for z in lo..hi {
-                    acc += laplacian_at_r::<R>(
+    let mut rows = Vec::new();
+    for b in backends() {
+        let s = microbench::run_elems(&format!("laplacian_{}/so{so}", b.name()), cfg, elems, || {
+            for x in lo..hi {
+                for y in lo..hi {
+                    let i0 = (x * N + y) * N + lo;
+                    b.laplacian_row_r::<R>(
                         black_box(u),
-                        base + z,
+                        i0,
                         sx,
                         sy,
                         center,
                         &side,
                         &side,
                         &side,
+                        &mut out,
                     );
+                    black_box(&out);
                 }
             }
-        }
-        black_box(acc);
-    });
-    let pencil = microbench::run_elems(&format!("laplacian_pencil/so{so}"), cfg, elems, || {
-        for x in lo..hi {
-            for y in lo..hi {
-                let i0 = (x * N + y) * N + lo;
-                laplacian_pencil_r::<R>(
-                    black_box(u),
-                    i0,
-                    sx,
-                    sy,
-                    center,
-                    &side,
-                    &side,
-                    &side,
-                    &mut out,
-                );
-                black_box(&out);
-            }
-        }
-    });
-    report_speedup("laplacian", so, &scalar, &pencil);
+        });
+        out_rows.push(entry("laplacian", so, b, elems, &s));
+        rows.push((b, s));
+    }
+    report_speedups("laplacian", so, &rows);
 }
 
-fn bench_cross<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
+fn bench_cross<const R: usize>(
+    cfg: Config,
+    so: usize,
+    u: &[f32],
+    sx: usize,
+    sy: usize,
+    out_rows: &mut Vec<BenchEntry>,
+) {
     let w = first_derivative_weights(so, 10.0);
     let w: [f32; R] = w[..].try_into().expect("radius mismatch");
     let (lo, hi, elems, mut out) = interior::<R>();
-    let scalar = microbench::run_elems(&format!("cross_diff_scalar/so{so}"), cfg, elems, || {
-        let mut acc = 0.0f32;
-        for x in lo..hi {
-            for y in lo..hi {
-                let base = (x * N + y) * N;
-                for z in lo..hi {
-                    acc += cross_diff_r::<R>(black_box(u), base + z, sx, sy, &w, &w);
+    let mut rows = Vec::new();
+    for b in backends() {
+        let s = microbench::run_elems(&format!("cross_diff_{}/so{so}", b.name()), cfg, elems, || {
+            for x in lo..hi {
+                for y in lo..hi {
+                    let i0 = (x * N + y) * N + lo;
+                    b.cross_diff_row_r::<R>(black_box(u), i0, sx, sy, &w, &w, &mut out);
+                    black_box(&out);
                 }
             }
-        }
-        black_box(acc);
-    });
-    let pencil = microbench::run_elems(&format!("cross_diff_pencil/so{so}"), cfg, elems, || {
-        for x in lo..hi {
-            for y in lo..hi {
-                let i0 = (x * N + y) * N + lo;
-                cross_diff_pencil_r::<R>(black_box(u), i0, sx, sy, &w, &w, &mut out);
-                black_box(&out);
-            }
-        }
-    });
-    report_speedup("cross_diff", so, &scalar, &pencil);
+        });
+        out_rows.push(entry("cross_diff", so, b, elems, &s));
+        rows.push((b, s));
+    }
+    report_speedups("cross_diff", so, &rows);
 }
 
-fn bench_staggered<const R: usize>(cfg: Config, so: usize, u: &[f32]) {
+fn bench_staggered<const R: usize>(cfg: Config, so: usize, u: &[f32], out_rows: &mut Vec<BenchEntry>) {
     let w = staggered_weights(so, 10.0);
     let w: [f32; R] = w[..].try_into().expect("radius mismatch");
     let (lo, hi, elems, mut out) = interior::<R>();
-    let scalar = microbench::run_elems(&format!("staggered_scalar/so{so}"), cfg, elems, || {
-        let mut acc = 0.0f32;
-        for x in lo..hi {
-            for y in lo..hi {
-                let base = (x * N + y) * N;
-                for z in lo..hi {
-                    acc += staggered_diff_fwd_r::<R>(black_box(u), base + z, 1, &w);
+    let mut rows = Vec::new();
+    for b in backends() {
+        let s = microbench::run_elems(&format!("staggered_{}/so{so}", b.name()), cfg, elems, || {
+            for x in lo..hi {
+                for y in lo..hi {
+                    let i0 = (x * N + y) * N + lo;
+                    b.staggered_fwd_row_r::<R>(black_box(u), i0, 1, &w, &mut out);
+                    black_box(&out);
                 }
             }
-        }
-        black_box(acc);
-    });
-    let pencil = microbench::run_elems(&format!("staggered_pencil/so{so}"), cfg, elems, || {
-        for x in lo..hi {
-            for y in lo..hi {
-                let i0 = (x * N + y) * N + lo;
-                staggered_pencil_fwd_r::<R>(black_box(u), i0, 1, &w, &mut out);
-                black_box(&out);
-            }
-        }
-    });
-    report_speedup("staggered", so, &scalar, &pencil);
+        });
+        out_rows.push(entry("staggered", so, b, elems, &s));
+        rows.push((b, s));
+    }
+    report_speedups("staggered", so, &rows);
 }
 
-fn bench_order<const R: usize>(cfg: Config, so: usize, u: &[f32], sx: usize, sy: usize) {
-    bench_laplacian::<R>(cfg, so, u, sx, sy);
-    bench_cross::<R>(cfg, so, u, sx, sy);
-    bench_staggered::<R>(cfg, so, u);
+fn bench_order<const R: usize>(
+    cfg: Config,
+    so: usize,
+    u: &[f32],
+    sx: usize,
+    sy: usize,
+    out_rows: &mut Vec<BenchEntry>,
+) {
+    bench_laplacian::<R>(cfg, so, u, sx, sy, out_rows);
+    bench_cross::<R>(cfg, so, u, sx, sy, out_rows);
+    bench_staggered::<R>(cfg, so, u, out_rows);
+}
+
+/// Merge the per-backend rows into the host's bench report (same pattern as
+/// the schedule head-to-heads in `benches/schedules.rs`). `cargo bench`
+/// runs with the package as CWD, so resolve `results/` against the
+/// workspace root.
+fn record_entries(entries: Vec<BenchEntry>) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .to_path_buf();
+    let dir = root.join("results");
+    let path = dir.join(format!("BENCH_{}.json", host_name()));
+    let mut report = BenchReport::read(&path).unwrap_or(BenchReport {
+        host: host_name(),
+        threads: tempest_par::available_threads(),
+        size: 64,
+        nt: 8,
+        entries: Vec::new(),
+    });
+    for e in entries {
+        report.entries.retain(|old| old.key() != e.key());
+        report.entries.push(e);
+    }
+    match report.write(&dir) {
+        Ok(p) => println!("stencil_kernels: recorded in {}", p.display()),
+        Err(e) => eprintln!("stencil_kernels: could not write report: {e}"),
+    }
 }
 
 fn main() {
     let cfg = Config::default();
     let (u, sx, sy) = grid();
-    println!("stencil_kernels: full-interior sweep of a {N}^3 volume, scalar vs pencil");
-    bench_order::<2>(cfg, 4, &u, sx, sy);
-    bench_order::<4>(cfg, 8, &u, sx, sy);
-    bench_order::<6>(cfg, 12, &u, sx, sy);
+    let names: Vec<&str> = backends().iter().map(|b| b.name()).collect();
+    println!("stencil_kernels: full-interior sweep of a {N}^3 volume, backends: {names:?}");
+    if !Backend::Avx2.available() {
+        println!("  note: AVX2 unavailable on this host — avx2 rows omitted");
+    }
+    let mut rows = Vec::new();
+    bench_order::<2>(cfg, 4, &u, sx, sy, &mut rows);
+    bench_order::<4>(cfg, 8, &u, sx, sy, &mut rows);
+    bench_order::<6>(cfg, 12, &u, sx, sy, &mut rows);
+    record_entries(rows);
 }

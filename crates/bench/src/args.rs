@@ -22,7 +22,8 @@ pub struct HarnessArgs {
     /// Capture event-level traces (Chrome trace JSON under
     /// `results/trace/`). Needs the `obs` feature to record anything.
     pub trace: bool,
-    /// Dense-kernel path: scalar reference loops or pencil (lane) kernels.
+    /// Dense-kernel backend: auto-detected best, scalar reference loops,
+    /// portable pencil kernels or explicit AVX2 intrinsics.
     pub kernel: KernelPath,
 }
 
@@ -93,11 +94,16 @@ impl HarnessArgs {
                 }
                 "--kernel" => {
                     i += 1;
-                    a.kernel = match argv.get(i).map(String::as_str) {
-                        Some("scalar") => KernelPath::Scalar,
-                        Some("pencil") => KernelPath::Pencil,
-                        other => panic!("--kernel needs 'scalar' or 'pencil', got {other:?}"),
-                    };
+                    a.kernel = argv
+                        .get(i)
+                        .and_then(|v| KernelPath::parse(v))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "--kernel needs 'auto', 'scalar', 'portable'/'pencil' or 'avx2', \
+                                 got {:?}",
+                                argv.get(i)
+                            )
+                        });
                 }
                 "--help" | "-h" => {
                     eprintln!(
@@ -106,7 +112,8 @@ impl HarnessArgs {
                          --model acoustic,tti,elastic --fast (smoke test) \
                          --profile (per-phase profile table + JSON) \
                          --trace (event traces, Chrome JSON under results/trace/) \
-                         --kernel scalar|pencil (dense-kernel path, default pencil)"
+                         --kernel auto|scalar|portable|avx2 (row-kernel backend, default auto \
+                         = best available; 'pencil' is accepted as an alias for portable)"
                     );
                     std::process::exit(0);
                 }
@@ -173,11 +180,20 @@ mod tests {
             HarnessArgs::parse_from(&sv(&["--kernel", "scalar"]), 64, 8).kernel,
             KernelPath::Scalar
         );
+        // "pencil" stays accepted as a compatibility alias for portable.
         assert_eq!(
             HarnessArgs::parse_from(&sv(&["--kernel", "pencil"]), 64, 8).kernel,
-            KernelPath::Pencil
+            KernelPath::Portable
         );
-        assert_eq!(HarnessArgs::parse_from(&sv(&[]), 64, 8).kernel, KernelPath::Pencil);
+        assert_eq!(
+            HarnessArgs::parse_from(&sv(&["--kernel", "avx2"]), 64, 8).kernel,
+            KernelPath::Avx2
+        );
+        assert_eq!(
+            HarnessArgs::parse_from(&sv(&["--kernel", "auto"]), 64, 8).kernel,
+            KernelPath::Auto
+        );
+        assert_eq!(HarnessArgs::parse_from(&sv(&[]), 64, 8).kernel, KernelPath::Auto);
     }
 
     #[test]

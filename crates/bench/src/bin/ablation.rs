@@ -31,15 +31,17 @@ fn main() {
     scalar_vs_pencil(&args);
 }
 
-/// Ablation D — scalar reference loops vs the pencil (lane) kernel path,
-/// per model and schedule. Both paths are bitwise identical in output (see
-/// `tests/kernel_equivalence.rs`); this quantifies the performance gap the
-/// bounds-check-free, lane-structured inner loops buy.
+/// Ablation D — the kernel-backend axis: scalar reference loops vs every
+/// vector backend available on this host (portable pencil kernels, AVX2
+/// intrinsics), per model and schedule. All backends are bitwise identical
+/// in output (see `tests/kernel_backends.rs`); this quantifies what each
+/// step of explicitness buys over the per-point reference.
 fn scalar_vs_pencil(args: &HarnessArgs) {
     use tempest_core::operator::KernelPath;
+    use tempest_stencil::Backend;
     let mut table = Table::new(
-        "Ablation D — scalar vs pencil kernel path",
-        &["model", "schedule", "scalar GPts/s", "pencil GPts/s", "pencil/scalar"],
+        "Ablation D — kernel backends vs scalar reference",
+        &["model", "schedule", "kernel", "GPts/s", "vs scalar"],
     );
     let so = 8usize;
     let wtb = Candidate {
@@ -51,25 +53,33 @@ fn scalar_vs_pencil(args: &HarnessArgs) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
+    let backends: Vec<Backend> = Backend::ALL.into_iter().filter(|b| b.available()).collect();
     let mut run = |model: &str, s: &mut dyn tempest_core::WaveSolver| {
         for (sched, exec) in [
             ("spaceblocked", sweep::exec_spaceblocked(8, 8)),
             ("wavefront", sweep::exec_wavefront(&wtb)),
         ] {
-            let sc = sweep::measure_dyn(s, &sweep::with_kernel(exec, KernelPath::Scalar), 1);
-            let pc = sweep::measure_dyn(s, &sweep::with_kernel(exec, KernelPath::Pencil), 1);
-            println!(
-                "  {model} so{so} {sched}: scalar {:.3}, pencil {:.3} GPts/s",
-                sc.gpoints_per_s, pc.gpoints_per_s
-            );
-            table.row(&[
-                model.to_string(),
-                sched.to_string(),
-                f3(sc.gpoints_per_s),
-                f3(pc.gpoints_per_s),
-                format!("{:.2}x", pc.gpoints_per_s / sc.gpoints_per_s),
-            ]);
+            let mut scalar_gpts = 0.0f64;
+            for &b in &backends {
+                let st = sweep::measure_dyn(s, &sweep::with_kernel(exec, KernelPath::from(b)), 1);
+                if b == Backend::Scalar {
+                    scalar_gpts = st.gpoints_per_s;
+                }
+                println!(
+                    "  {model} so{so} {sched} {}: {:.3} GPts/s",
+                    b.name(),
+                    st.gpoints_per_s
+                );
+                table.row(&[
+                    model.to_string(),
+                    sched.to_string(),
+                    b.name().to_string(),
+                    f3(st.gpoints_per_s),
+                    format!("{:.2}x", st.gpoints_per_s / scalar_gpts),
+                ]);
+            }
         }
     };
     if args.models.iter().any(|m| m == "acoustic") {
@@ -80,6 +90,16 @@ fn scalar_vs_pencil(args: &HarnessArgs) {
     }
     if args.models.iter().any(|m| m == "elastic") {
         run("elastic", &mut setup::elastic(args.size, so, args.nt, 0));
+    }
+    if !Backend::Avx2.available() {
+        table.row(&[
+            "(caveat)".into(),
+            "-".into(),
+            "avx2".into(),
+            "n/a".into(),
+            "host lacks AVX2; rows omitted".into(),
+        ]);
+        println!("  note: AVX2 unavailable on this host — avx2 rows omitted");
     }
     table.print();
 }
@@ -104,6 +124,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     let tiled = Candidate {
         tile_x: 16,
@@ -114,6 +135,7 @@ fn skewing_vs_tiling(args: &HarnessArgs) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     for (label, c) in [("pure skewing", skew_only), ("tiled wavefront", tiled)] {
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
@@ -138,6 +160,7 @@ fn listing4_vs_listing5(args: &HarnessArgs) {
         diagonal: false,
         dataflow: false,
         diamond: None,
+        kernel: None,
     };
     let counts = if args.fast {
         vec![1usize, 64]
@@ -189,6 +212,7 @@ fn tile_height_sweep(args: &HarnessArgs) {
             diagonal: false,
             dataflow: false,
             diamond: None,
+            kernel: None,
         };
         let st = sweep::measure(&mut s, &sweep::exec_wavefront(&c), 1);
         if tt == 1 {

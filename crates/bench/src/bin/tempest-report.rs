@@ -6,7 +6,8 @@
 //! cargo run -p tempest-bench --release --features obs --bin tempest-report -- \
 //!     [--size 64] [--nt 8] [--so 4] [--fast] [--model acoustic,tti,elastic] \
 //!     [--schedules wavefront-diag,wavefront-dataflow,diamond] [--list-schedules] \
-//!     [--kernel scalar|pencil|both] [--repeats 2] [--out results] [--trace] \
+//!     [--kernel auto|scalar|portable|avx2|both] [--list-kernels] \
+//!     [--repeats 2] [--out results] [--trace] \
 //!     [--baseline results/baseline.json] [--check-baseline] [--write-baseline] \
 //!     [--threshold 0.15]
 //! ```
@@ -25,6 +26,7 @@ use tempest_bench::{setup, sweep};
 use tempest_core::operator::KernelPath;
 use tempest_core::{Execution, WaveSolver};
 use tempest_obs as obs;
+use tempest_stencil::Backend;
 use tempest_survey::SurveyOptions;
 
 struct ReportArgs {
@@ -51,7 +53,7 @@ fn parse_args() -> ReportArgs {
         so: 4,
         models: vec!["acoustic".into(), "tti".into(), "elastic".into()],
         schedules: None,
-        kernels: vec![KernelPath::Pencil],
+        kernels: vec![KernelPath::Auto],
         repeats: 2,
         out: PathBuf::from("results"),
         trace: false,
@@ -100,12 +102,12 @@ fn parse_args() -> ReportArgs {
             }
             "--kernel" => {
                 i += 1;
-                a.kernels = match argv.get(i).map(String::as_str) {
-                    Some("scalar") => vec![KernelPath::Scalar],
-                    Some("pencil") => vec![KernelPath::Pencil],
-                    Some("both") => vec![KernelPath::Scalar, KernelPath::Pencil],
-                    other => panic!("--kernel needs 'scalar', 'pencil' or 'both', got {other:?}"),
-                };
+                let spec = argv.get(i).map(String::as_str).unwrap_or("");
+                a.kernels = parse_kernels(spec);
+            }
+            "--list-kernels" => {
+                list_kernels();
+                std::process::exit(0);
             }
             "--repeats" => {
                 i += 1;
@@ -147,7 +149,7 @@ fn parse_args() -> ReportArgs {
                      --model acoustic,tti,elastic \
                      --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow,diamond \
                      --list-schedules \
-                     --kernel scalar|pencil|both \
+                     --kernel auto|scalar|portable|avx2|both --list-kernels \
                      --repeats N --out DIR --trace \
                      --baseline PATH --check-baseline --write-baseline --threshold F"
                 );
@@ -160,11 +162,61 @@ fn parse_args() -> ReportArgs {
     a
 }
 
+/// Matrix rows are keyed by the *resolved* backend name, never "auto" — the
+/// committed baseline stays meaningful across hosts that resolve differently.
 fn kernel_label(k: KernelPath) -> &'static str {
-    match k {
-        KernelPath::Scalar => "scalar",
-        KernelPath::Pencil => "pencil",
+    k.resolve().name()
+}
+
+/// Parse `--kernel`: one name per `KernelPath::parse` (`auto`, `scalar`,
+/// `pencil`/`portable`, `avx2`), a comma list of those, or the sweep words
+/// `both`/`all` (= every backend *available* on this host, so a CI loop can
+/// pass the same flag everywhere). Unknown names exit 2, matching the
+/// `--schedules` contract.
+fn parse_kernels(spec: &str) -> Vec<KernelPath> {
+    if spec.eq_ignore_ascii_case("both") || spec.eq_ignore_ascii_case("all") {
+        return Backend::ALL
+            .into_iter()
+            .filter(|b| b.available())
+            .map(KernelPath::from)
+            .collect();
     }
+    let mut out = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match KernelPath::parse(name) {
+            Some(k) => out.push(k),
+            None => {
+                eprintln!("unknown kernel {name:?}; see --list-kernels");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.is_empty() {
+        eprintln!("--kernel needs a name (auto, scalar, portable, avx2, both); see --list-kernels");
+        std::process::exit(2);
+    }
+    out
+}
+
+/// `--list-kernels`: every backend the dispatcher knows, with its lane
+/// width, gating CPU feature and availability on *this* host.
+fn list_kernels() {
+    println!("{:10} {:>5}  {:12} available", "kernel", "lanes", "cpu feature");
+    for b in Backend::ALL {
+        let caps = b.caps();
+        println!(
+            "{:10} {:>5}  {:12} {}",
+            caps.name,
+            caps.lanes,
+            caps.cpu_feature.unwrap_or("-"),
+            if b.available() { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "auto       resolves to the best available backend (currently: {})",
+        tempest_stencil::backend::detect_best()
+    );
+    println!("pencil     alias for portable");
 }
 
 /// The survey pseudo-schedule: not an [`Execution`] but a whole multi-shot
@@ -294,10 +346,11 @@ fn main() {
         const SURVEY_SHOTS: usize = 4;
         let survey = setup::survey(args.size, args.so, args.nt, SURVEY_SHOTS, 8);
         let opts = SurveyOptions::default();
+        let survey_kernel = kernel_label(KernelPath::Auto);
         let (entry, trace) =
-            BenchReport::measure_survey_entry(&survey, &opts, args.repeats, "pencil");
+            BenchReport::measure_survey_entry(&survey, &opts, args.repeats, survey_kernel);
         println!(
-            "  acoustic {SURVEY_SCHEDULE} ({SURVEY_SHOTS} shots) pencil: {:.3} GPts/s \
+            "  acoustic {SURVEY_SCHEDULE} ({SURVEY_SHOTS} shots) {survey_kernel}: {:.3} GPts/s \
              (barrier {:.1}%, {} trace events)",
             entry.gpts_per_s,
             100.0 * entry.barrier_wait_share,

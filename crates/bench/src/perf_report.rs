@@ -23,7 +23,7 @@ pub struct BenchEntry {
     pub model: String,
     /// Sanitized schedule label, e.g. `wavefront-diag_64x64_t8_8x8`.
     pub schedule: String,
-    /// Dense-kernel path: `scalar` or `pencil`.
+    /// Resolved row-kernel backend: `scalar`, `portable`, or `avx2`.
     pub kernel: String,
     pub gpts_per_s: f64,
     pub elapsed_s: f64,

@@ -56,7 +56,7 @@ pub fn exec_wavefront(c: &Candidate) -> Execution {
         schedule,
         sparse: SparseMode::FusedCompressed,
         policy: Policy::default(),
-        kernel: KernelPath::default(),
+        kernel: c.kernel.map(KernelPath::from).unwrap_or_default(),
     }
 }
 

@@ -23,8 +23,9 @@ use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, Model, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{laplacian_at, laplacian_at_r, AxisWeights};
-use tempest_stencil::simd::{laplacian_pencil, laplacian_pencil_r, LANE};
 use tempest_stencil::metrics::acoustic_cost;
+use tempest_stencil::simd::LANE;
+use tempest_stencil::Backend;
 use tempest_tiling::{diamond, spaceblock, wavefront};
 
 /// The isotropic acoustic propagator.
@@ -215,11 +216,13 @@ impl Acoustic {
         }
     }
 
-    /// Compute timestep `k` (writing level `k + 2`) for `region`.
+    /// Compute timestep `k` (writing level `k + 2`) for `region`. The
+    /// `KernelPath` is resolved to a concrete backend here (a cached
+    /// lookup), so every schedule picks up the same dispatch decision.
     fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
         let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(k));
-        match kernel {
-            KernelPath::Scalar => match self.radius {
+        match kernel.resolve() {
+            Backend::Scalar => match self.radius {
                 1 => self.step_r::<1>(k, region, mode),
                 2 => self.step_r::<2>(k, region, mode),
                 3 => self.step_r::<3>(k, region, mode),
@@ -228,23 +231,30 @@ impl Acoustic {
                 8 => self.step_r::<8>(k, region, mode),
                 _ => self.step_dyn(k, region, mode),
             },
-            KernelPath::Pencil => match self.radius {
-                1 => self.step_pencil_r::<1>(k, region, mode),
-                2 => self.step_pencil_r::<2>(k, region, mode),
-                3 => self.step_pencil_r::<3>(k, region, mode),
-                4 => self.step_pencil_r::<4>(k, region, mode),
-                6 => self.step_pencil_r::<6>(k, region, mode),
-                8 => self.step_pencil_r::<8>(k, region, mode),
-                _ => self.step_pencil_dyn(k, region, mode),
+            backend => match self.radius {
+                1 => self.step_pencil_r::<1>(k, region, mode, backend),
+                2 => self.step_pencil_r::<2>(k, region, mode, backend),
+                3 => self.step_pencil_r::<3>(k, region, mode, backend),
+                4 => self.step_pencil_r::<4>(k, region, mode, backend),
+                6 => self.step_pencil_r::<6>(k, region, mode, backend),
+                8 => self.step_pencil_r::<8>(k, region, mode, backend),
+                _ => self.step_pencil_dyn(k, region, mode, backend),
             },
         }
     }
 
-    /// Pencil-kernel twin of [`step_r`](Self::step_r): one whole-row
-    /// Laplacian call per `z`-row, then a slice-zipped leap-frog combine.
-    /// Bitwise-identical to the scalar path (same per-point accumulation
-    /// order; sub-lane remainders fall back to the scalar kernel).
-    fn step_pencil_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+    /// Row-kernel twin of [`step_r`](Self::step_r): one whole-row Laplacian
+    /// call per `z`-row through the selected vector `backend`, then a
+    /// slice-zipped leap-frog combine. Bitwise-identical to the scalar path
+    /// (same per-point accumulation order; sub-lane remainders fall back to
+    /// the scalar kernel inside every backend).
+    fn step_pencil_r<const R: usize>(
+        &self,
+        k: usize,
+        region: &Range3,
+        mode: SparseMode,
+        backend: Backend,
+    ) {
         let sw = obs::start(obs::Phase::Stencil);
         obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         obs::add(
@@ -267,7 +277,7 @@ impl Acoustic {
                 let c1r = self.c1.pencil(x, y);
                 let c2r = self.c2.pencil(x, y);
                 let c3r = self.c3.pencil(x, y);
-                laplacian_pencil_r::<R>(u0, i0, sx, sy, self.center, &wx, &wy, &wz, &mut lap);
+                backend.laplacian_row_r::<R>(u0, i0, sx, sy, self.center, &wx, &wy, &wz, &mut lap);
                 let out = &mut un[region.z0..region.z1];
                 let u0w = &u0[i0..i0 + n];
                 let umw = &um[i0..i0 + n];
@@ -284,7 +294,7 @@ impl Acoustic {
     }
 
     /// Pencil twin of [`step_dyn`](Self::step_dyn) (dynamic radius).
-    fn step_pencil_dyn(&self, k: usize, region: &Range3, mode: SparseMode) {
+    fn step_pencil_dyn(&self, k: usize, region: &Range3, mode: SparseMode, backend: Backend) {
         let sw = obs::start(obs::Phase::Stencil);
         obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         obs::add(
@@ -303,7 +313,7 @@ impl Acoustic {
                 let c1r = self.c1.pencil(x, y);
                 let c2r = self.c2.pencil(x, y);
                 let c3r = self.c3.pencil(x, y);
-                laplacian_pencil(
+                backend.laplacian_row(
                     u0, i0, sx, sy, self.center, &self.wx, &self.wy, &self.wz, &mut lap,
                 );
                 let out = &mut un[region.z0..region.z1];
@@ -481,6 +491,7 @@ impl Acoustic {
             "snapshot recording requires the spatially blocked schedule"
         );
         exec.validate();
+        crate::operator::record_backend_run(exec.kernel.resolve());
         self.reset();
         let shape = self.shape();
         let nt = self.cfg.nt;
@@ -521,6 +532,7 @@ impl Acoustic {
         );
         exec.validate();
         if k0 == 0 {
+            crate::operator::record_backend_run(exec.kernel.resolve());
             self.reset();
         }
         let spec = exec.spaceblock_spec();
@@ -635,6 +647,7 @@ impl WaveSolver for Acoustic {
 
     fn run(&mut self, exec: &Execution) -> RunStats {
         exec.validate();
+        crate::operator::record_backend_run(exec.kernel.resolve());
         self.reset();
         let shape = self.shape();
         let nt = self.cfg.nt;

@@ -31,7 +31,8 @@ use tempest_obs as obs;
 use tempest_grid::{Array2, Array3, DampingMask, ElasticModel, Range3, Shape};
 use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{staggered_diff_bwd_r, staggered_diff_fwd_r, staggered_weights};
-use tempest_stencil::simd::{staggered_pencil_bwd_r, staggered_pencil_fwd_r, LANE};
+use tempest_stencil::simd::LANE;
+use tempest_stencil::Backend;
 use tempest_stencil::metrics::elastic_cost;
 use tempest_tiling::{diamond, spaceblock, wavefront};
 
@@ -171,20 +172,19 @@ impl Elastic {
     fn step_region(&self, vt: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
         let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(vt));
         let t = vt >> 1;
-        use KernelPath::{Pencil, Scalar};
-        match (kernel, self.radius, vt & 1) {
-            (Scalar, 2, 0) => self.vel_phase::<2>(t, region, mode),
-            (Scalar, 2, 1) => self.stress_phase::<2>(t, region, mode),
-            (Scalar, 4, 0) => self.vel_phase::<4>(t, region, mode),
-            (Scalar, 4, 1) => self.stress_phase::<4>(t, region, mode),
-            (Scalar, 6, 0) => self.vel_phase::<6>(t, region, mode),
-            (Scalar, 6, 1) => self.stress_phase::<6>(t, region, mode),
-            (Pencil, 2, 0) => self.vel_phase_pencil::<2>(t, region, mode),
-            (Pencil, 2, 1) => self.stress_phase_pencil::<2>(t, region, mode),
-            (Pencil, 4, 0) => self.vel_phase_pencil::<4>(t, region, mode),
-            (Pencil, 4, 1) => self.stress_phase_pencil::<4>(t, region, mode),
-            (Pencil, 6, 0) => self.vel_phase_pencil::<6>(t, region, mode),
-            (Pencil, 6, 1) => self.stress_phase_pencil::<6>(t, region, mode),
+        match (kernel.resolve(), self.radius, vt & 1) {
+            (Backend::Scalar, 2, 0) => self.vel_phase::<2>(t, region, mode),
+            (Backend::Scalar, 2, 1) => self.stress_phase::<2>(t, region, mode),
+            (Backend::Scalar, 4, 0) => self.vel_phase::<4>(t, region, mode),
+            (Backend::Scalar, 4, 1) => self.stress_phase::<4>(t, region, mode),
+            (Backend::Scalar, 6, 0) => self.vel_phase::<6>(t, region, mode),
+            (Backend::Scalar, 6, 1) => self.stress_phase::<6>(t, region, mode),
+            (b, 2, 0) => self.vel_phase_pencil::<2>(t, region, mode, b),
+            (b, 2, 1) => self.stress_phase_pencil::<2>(t, region, mode, b),
+            (b, 4, 0) => self.vel_phase_pencil::<4>(t, region, mode, b),
+            (b, 4, 1) => self.stress_phase_pencil::<4>(t, region, mode, b),
+            (b, 6, 0) => self.vel_phase_pencil::<6>(t, region, mode, b),
+            (b, 6, 1) => self.stress_phase_pencil::<6>(t, region, mode, b),
             _ => panic!(
                 "elastic propagator supports space orders 4, 8, 12 (got {})",
                 self.cfg.space_order
@@ -361,7 +361,13 @@ impl Elastic {
     /// Pencil-kernel twin of [`vel_phase`](Self::vel_phase): three staggered
     /// derivative rows per velocity component, combined with the exact scalar
     /// accumulation order so the fields stay bitwise equal.
-    fn vel_phase_pencil<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+    fn vel_phase_pencil<const R: usize>(
+        &self,
+        t: usize,
+        region: &Range3,
+        mode: SparseMode,
+        backend: Backend,
+    ) {
         let sw = obs::start(obs::Phase::Stencil);
         obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         obs::add(
@@ -396,27 +402,27 @@ impl Elastic {
                 let dtb = self.dtb.pencil(x, y);
                 let fd = self.fd.pencil(x, y);
                 // vx lives at (i+½, j, k).
-                staggered_pencil_fwd_r::<R>(txx, i0, sx, &swx, da);
-                staggered_pencil_bwd_r::<R>(txy, i0, sy, &swy, db);
-                staggered_pencil_bwd_r::<R>(txz, i0, 1, &swz, dc);
+                backend.staggered_fwd_row_r::<R>(txx, i0, sx, &swx, da);
+                backend.staggered_bwd_row_r::<R>(txy, i0, sy, &swy, db);
+                backend.staggered_bwd_row_r::<R>(txz, i0, 1, &swz, dc);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     let dvx = da[j] + db[j] + dc[j];
                     vxn[z] = (vx0[i] + dtb[z] * dvx) * fd[z];
                 }
                 // vy lives at (i, j+½, k).
-                staggered_pencil_bwd_r::<R>(txy, i0, sx, &swx, da);
-                staggered_pencil_fwd_r::<R>(tyy, i0, sy, &swy, db);
-                staggered_pencil_bwd_r::<R>(tyz, i0, 1, &swz, dc);
+                backend.staggered_bwd_row_r::<R>(txy, i0, sx, &swx, da);
+                backend.staggered_fwd_row_r::<R>(tyy, i0, sy, &swy, db);
+                backend.staggered_bwd_row_r::<R>(tyz, i0, 1, &swz, dc);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     let dvy = da[j] + db[j] + dc[j];
                     vyn[z] = (vy0[i] + dtb[z] * dvy) * fd[z];
                 }
                 // vz lives at (i, j, k+½).
-                staggered_pencil_bwd_r::<R>(txz, i0, sx, &swx, da);
-                staggered_pencil_bwd_r::<R>(tyz, i0, sy, &swy, db);
-                staggered_pencil_fwd_r::<R>(tzz, i0, 1, &swz, dc);
+                backend.staggered_bwd_row_r::<R>(txz, i0, sx, &swx, da);
+                backend.staggered_bwd_row_r::<R>(tyz, i0, sy, &swy, db);
+                backend.staggered_fwd_row_r::<R>(tzz, i0, 1, &swz, dc);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     let dvz = da[j] + db[j] + dc[j];
@@ -446,7 +452,13 @@ impl Elastic {
     }
 
     /// Pencil-kernel twin of [`stress_phase`](Self::stress_phase).
-    fn stress_phase_pencil<const R: usize>(&self, t: usize, region: &Range3, mode: SparseMode) {
+    fn stress_phase_pencil<const R: usize>(
+        &self,
+        t: usize,
+        region: &Range3,
+        mode: SparseMode,
+        backend: Backend,
+    ) {
         let sw = obs::start(obs::Phase::Stencil);
         obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         obs::add(
@@ -485,9 +497,9 @@ impl Elastic {
                 let mu2 = self.mu2_dt.pencil(x, y);
                 let fd = self.fd.pencil(x, y);
                 // Normal stresses live at (i, j, k).
-                staggered_pencil_bwd_r::<R>(vx1, i0, sx, &swx, da);
-                staggered_pencil_bwd_r::<R>(vy1, i0, sy, &swy, db);
-                staggered_pencil_bwd_r::<R>(vz1, i0, 1, &swz, dc);
+                backend.staggered_bwd_row_r::<R>(vx1, i0, sx, &swx, da);
+                backend.staggered_bwd_row_r::<R>(vy1, i0, sy, &swy, db);
+                backend.staggered_bwd_row_r::<R>(vz1, i0, 1, &swz, dc);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     let (exx, eyy, ezz) = (da[j], db[j], dc[j]);
@@ -497,20 +509,20 @@ impl Elastic {
                     tzzn[z] = (tzz0[i] + ldiv + mu2[z] * ezz) * fd[z];
                 }
                 // Shear stresses at the edge-staggered positions.
-                staggered_pencil_fwd_r::<R>(vx1, i0, sy, &swy, da);
-                staggered_pencil_fwd_r::<R>(vy1, i0, sx, &swx, db);
+                backend.staggered_fwd_row_r::<R>(vx1, i0, sy, &swy, da);
+                backend.staggered_fwd_row_r::<R>(vy1, i0, sx, &swx, db);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     txyn[z] = (txy0[i] + mu[z] * (da[j] + db[j])) * fd[z];
                 }
-                staggered_pencil_fwd_r::<R>(vx1, i0, 1, &swz, da);
-                staggered_pencil_fwd_r::<R>(vz1, i0, sx, &swx, db);
+                backend.staggered_fwd_row_r::<R>(vx1, i0, 1, &swz, da);
+                backend.staggered_fwd_row_r::<R>(vz1, i0, sx, &swx, db);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     txzn[z] = (txz0[i] + mu[z] * (da[j] + db[j])) * fd[z];
                 }
-                staggered_pencil_fwd_r::<R>(vy1, i0, 1, &swz, da);
-                staggered_pencil_fwd_r::<R>(vz1, i0, sy, &swy, db);
+                backend.staggered_fwd_row_r::<R>(vy1, i0, 1, &swz, da);
+                backend.staggered_fwd_row_r::<R>(vz1, i0, sy, &swy, db);
                 for j in 0..n {
                     let (z, i) = (region.z0 + j, i0 + j);
                     tyzn[z] = (tyz0[i] + mu[z] * (da[j] + db[j])) * fd[z];
@@ -609,6 +621,7 @@ impl WaveSolver for Elastic {
 
     fn run(&mut self, exec: &Execution) -> RunStats {
         exec.validate();
+        crate::operator::record_backend_run(exec.kernel.resolve());
         self.reset();
         let shape = self.shape();
         let nt = self.cfg.nt;

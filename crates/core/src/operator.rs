@@ -7,6 +7,7 @@ use std::time::Duration;
 use tempest_grid::{Array2, Array3, Shape};
 use tempest_obs as obs;
 use tempest_par::Policy;
+use tempest_stencil::Backend;
 use tempest_tiling::{DiamondSpec, SpaceBlockSpec, WavefrontSpec};
 
 pub use tempest_tiling::DiamondAxis;
@@ -26,23 +27,109 @@ pub enum SparseMode {
     FusedCompressed,
 }
 
-/// Which dense-kernel implementation computes the stencil updates.
+/// Which dense-kernel backend computes the stencil updates.
 ///
-/// Both paths are bitwise-identical by construction (asserted by the
-/// kernel-equivalence test suite): the pencil kernels replicate the scalar
-/// per-point accumulation order exactly and fall back to the scalar kernels
-/// for sub-lane row remainders. The selector exists so benchmarks and the
-/// ablation can quantify the vectorisation win in isolation.
+/// All backends are bitwise-identical by construction (asserted by the
+/// kernel-equivalence and kernel-backends test suites): each one replicates
+/// the scalar per-point accumulation order exactly — no reassociation, no
+/// FMA contraction — so the selector changes throughput, never a single
+/// output bit. Override precedence when a run starts: an explicit variant
+/// here (the `--kernel` flag) beats the `TEMPEST_KERNEL` environment
+/// variable, which beats CPU-feature detection; see
+/// `tempest_stencil::backend` for the dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelPath {
+    /// Runtime dispatch (the default): `TEMPEST_KERNEL` if set and
+    /// runnable, else the best detected backend (AVX2 where available,
+    /// portable otherwise).
+    #[default]
+    Auto,
     /// Per-point kernels (`tempest_stencil::kernels`): one bounds-checked
     /// call per grid point, vectorisation left to the compiler.
     Scalar,
-    /// Whole-row SIMD-lane kernels (`tempest_stencil::simd`): per-offset
-    /// slice windows hoist every bounds check out of the inner loop, which
-    /// runs in explicit 8-wide lanes. The default.
-    #[default]
-    Pencil,
+    /// Whole-row pencil kernels (`tempest_stencil::simd`): per-offset slice
+    /// windows hoist every bounds check out of the inner loop, which LLVM
+    /// vectorises to 8-wide lanes on any target.
+    Portable,
+    /// Explicit AVX2 intrinsics (`tempest_stencil::avx2`): unaligned
+    /// 256-bit loads, unfused multiply-add. Falls back to the detected best
+    /// backend on hosts without AVX2.
+    Avx2,
+}
+
+impl KernelPath {
+    /// Compatibility alias for the pre-backend name of the portable pencil
+    /// path. Matches in patterns (structural equality), so existing
+    /// `KernelPath::Pencil` call sites keep compiling.
+    #[allow(non_upper_case_globals)]
+    pub const Pencil: KernelPath = KernelPath::Portable;
+
+    /// Resolve this selection to a concrete runnable backend, applying the
+    /// documented precedence. `Auto` consults the process-wide dispatcher
+    /// (`TEMPEST_KERNEL`, then CPU detection); a concrete variant is
+    /// honoured when the host can run it and falls back to the detected
+    /// best otherwise (never panics, never selects an unrunnable backend).
+    pub fn resolve(self) -> Backend {
+        match self {
+            KernelPath::Auto => tempest_stencil::backend::default_backend(),
+            KernelPath::Scalar => Backend::Scalar,
+            KernelPath::Portable => Backend::Portable,
+            KernelPath::Avx2 => {
+                if Backend::Avx2.available() {
+                    Backend::Avx2
+                } else {
+                    tempest_stencil::backend::detect_best()
+                }
+            }
+        }
+    }
+
+    /// Parse a `--kernel` / `TEMPEST_KERNEL`-style name. Accepts the
+    /// backend names (`scalar`, `portable`, `avx2`), the `pencil` alias,
+    /// and `auto`; rejects anything else.
+    pub fn parse(name: &str) -> Option<KernelPath> {
+        let s = name.trim();
+        if s.eq_ignore_ascii_case("auto") {
+            return Some(KernelPath::Auto);
+        }
+        Backend::parse(s).map(KernelPath::from)
+    }
+
+    /// Stable lowercase label (`auto`, `scalar`, `portable`, `avx2`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Auto => "auto",
+            KernelPath::Scalar => "scalar",
+            KernelPath::Portable => "portable",
+            KernelPath::Avx2 => "avx2",
+        }
+    }
+}
+
+impl From<Backend> for KernelPath {
+    fn from(b: Backend) -> Self {
+        match b {
+            Backend::Scalar => KernelPath::Scalar,
+            Backend::Portable => KernelPath::Portable,
+            Backend::Avx2 => KernelPath::Avx2,
+        }
+    }
+}
+
+/// Record which backend serves a starting run: exactly one
+/// `Counter::Backend*` bump per `run`/`run_recording`/`run_range` entry
+/// (no-op without the `obs` feature). The propagators call this after
+/// resolving `Execution::kernel`, so `Auto` runs record the backend they
+/// actually dispatched to — the "which backend am I running?" signal.
+pub(crate) fn record_backend_run(b: Backend) {
+    obs::add(
+        match b {
+            Backend::Scalar => obs::Counter::BackendScalar,
+            Backend::Portable => obs::Counter::BackendPortable,
+            Backend::Avx2 => obs::Counter::BackendAvx2,
+        },
+        1,
+    );
 }
 
 /// Which loop schedule traverses the space-time domain.
@@ -144,7 +231,8 @@ pub struct Execution {
     pub sparse: SparseMode,
     /// Thread policy for independent blocks.
     pub policy: Policy,
-    /// The dense-kernel implementation (scalar per-point vs SIMD pencil).
+    /// The dense-kernel backend selection (resolved to a concrete backend
+    /// when the run starts; `Auto` = runtime dispatch).
     pub kernel: KernelPath,
 }
 
@@ -240,16 +328,23 @@ impl Execution {
         self
     }
 
-    /// Select the scalar per-point kernels (the pre-vectorisation path, kept
-    /// for ablation and equivalence testing).
+    /// Select the scalar per-point kernels (the reference path, kept for
+    /// ablation and equivalence testing).
     pub fn scalar_kernels(mut self) -> Self {
         self.kernel = KernelPath::Scalar;
         self
     }
 
-    /// Select the SIMD pencil kernels (the default).
+    /// Select the portable autovectorized pencil kernels (compatibility
+    /// name; `Pencil` is an alias for [`KernelPath::Portable`]).
     pub fn pencil_kernels(mut self) -> Self {
         self.kernel = KernelPath::Pencil;
+        self
+    }
+
+    /// Select an explicit kernel backend (or `Auto` for runtime dispatch).
+    pub fn with_kernel(mut self, kernel: KernelPath) -> Self {
+        self.kernel = kernel;
         self
     }
 

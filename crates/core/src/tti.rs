@@ -32,8 +32,9 @@ use tempest_sparse::SparsePoints;
 use tempest_stencil::kernels::{
     cross_diff_r, first_derivative_weights, second_diff_axis_r, AxisWeights,
 };
-use tempest_stencil::simd::{cross_diff_pencil_r, second_diff_pencil_r, LANE};
 use tempest_stencil::metrics::tti_cost;
+use tempest_stencil::simd::LANE;
+use tempest_stencil::Backend;
 use tempest_tiling::{diamond, spaceblock, wavefront};
 
 /// The TTI pseudo-acoustic propagator.
@@ -169,13 +170,13 @@ impl Tti {
 
     fn step_region(&self, k: usize, region: &Range3, mode: SparseMode, kernel: KernelPath) {
         let _sp = obs::trace::span(obs::trace::SpanKind::Stencil, obs::trace::SpanArgs::step(k));
-        match (kernel, self.radius) {
-            (KernelPath::Scalar, 2) => self.step_r::<2>(k, region, mode),
-            (KernelPath::Scalar, 4) => self.step_r::<4>(k, region, mode),
-            (KernelPath::Scalar, 6) => self.step_r::<6>(k, region, mode),
-            (KernelPath::Pencil, 2) => self.step_pencil_r::<2>(k, region, mode),
-            (KernelPath::Pencil, 4) => self.step_pencil_r::<4>(k, region, mode),
-            (KernelPath::Pencil, 6) => self.step_pencil_r::<6>(k, region, mode),
+        match (kernel.resolve(), self.radius) {
+            (Backend::Scalar, 2) => self.step_r::<2>(k, region, mode),
+            (Backend::Scalar, 4) => self.step_r::<4>(k, region, mode),
+            (Backend::Scalar, 6) => self.step_r::<6>(k, region, mode),
+            (backend, 2) => self.step_pencil_r::<2>(k, region, mode, backend),
+            (backend, 4) => self.step_pencil_r::<4>(k, region, mode, backend),
+            (backend, 6) => self.step_pencil_r::<6>(k, region, mode, backend),
             _ => panic!(
                 "TTI propagator supports space orders 4, 8, 12 (radius {}, got order {})",
                 self.radius, self.cfg.space_order
@@ -267,7 +268,13 @@ impl Tti {
     /// calls per `z`-row, followed by one combine loop that replays the
     /// scalar accumulation chain term-for-term — results stay bitwise equal.
     #[allow(clippy::too_many_arguments)]
-    fn step_pencil_r<const R: usize>(&self, k: usize, region: &Range3, mode: SparseMode) {
+    fn step_pencil_r<const R: usize>(
+        &self,
+        k: usize,
+        region: &Range3,
+        mode: SparseMode,
+        backend: Backend,
+    ) {
         let sw = obs::start(obs::Phase::Stencil);
         obs::add(obs::Counter::StencilUpdates, region.len() as u64);
         obs::add(
@@ -317,18 +324,18 @@ impl Tti {
                 let g3 = self.gz[3].pencil(x, y);
                 let g4 = self.gz[4].pencil(x, y);
                 let g5 = self.gz[5].pencil(x, y);
-                second_diff_pencil_r::<R>(p0, i0, sx, cxx, &wxx, pxx);
-                second_diff_pencil_r::<R>(p0, i0, sy, cyy, &wyy, pyy);
-                second_diff_pencil_r::<R>(p0, i0, 1, czz, &wzz, pzz);
-                cross_diff_pencil_r::<R>(p0, i0, sx, sy, &w1x, &w1y, pxy);
-                cross_diff_pencil_r::<R>(p0, i0, sx, 1, &w1x, &w1z, pxz);
-                cross_diff_pencil_r::<R>(p0, i0, sy, 1, &w1y, &w1z, pyz);
-                second_diff_pencil_r::<R>(q0, i0, sx, cxx, &wxx, qxx);
-                second_diff_pencil_r::<R>(q0, i0, sy, cyy, &wyy, qyy);
-                second_diff_pencil_r::<R>(q0, i0, 1, czz, &wzz, qzz);
-                cross_diff_pencil_r::<R>(q0, i0, sx, sy, &w1x, &w1y, qxy);
-                cross_diff_pencil_r::<R>(q0, i0, sx, 1, &w1x, &w1z, qxz);
-                cross_diff_pencil_r::<R>(q0, i0, sy, 1, &w1y, &w1z, qyz);
+                backend.second_diff_row_r::<R>(p0, i0, sx, cxx, &wxx, pxx);
+                backend.second_diff_row_r::<R>(p0, i0, sy, cyy, &wyy, pyy);
+                backend.second_diff_row_r::<R>(p0, i0, 1, czz, &wzz, pzz);
+                backend.cross_diff_row_r::<R>(p0, i0, sx, sy, &w1x, &w1y, pxy);
+                backend.cross_diff_row_r::<R>(p0, i0, sx, 1, &w1x, &w1z, pxz);
+                backend.cross_diff_row_r::<R>(p0, i0, sy, 1, &w1y, &w1z, pyz);
+                backend.second_diff_row_r::<R>(q0, i0, sx, cxx, &wxx, qxx);
+                backend.second_diff_row_r::<R>(q0, i0, sy, cyy, &wyy, qyy);
+                backend.second_diff_row_r::<R>(q0, i0, 1, czz, &wzz, qzz);
+                backend.cross_diff_row_r::<R>(q0, i0, sx, sy, &w1x, &w1y, qxy);
+                backend.cross_diff_row_r::<R>(q0, i0, sx, 1, &w1x, &w1z, qxz);
+                backend.cross_diff_row_r::<R>(q0, i0, sy, 1, &w1y, &w1z, qyz);
                 for j in 0..n {
                     let z = region.z0 + j;
                     let i = i0 + j;
@@ -479,6 +486,7 @@ impl WaveSolver for Tti {
 
     fn run(&mut self, exec: &Execution) -> RunStats {
         exec.validate();
+        crate::operator::record_backend_run(exec.kernel.resolve());
         self.reset();
         let shape = self.shape();
         let nt = self.cfg.nt;

@@ -53,8 +53,9 @@ pub mod trace;
 ///   deterministic across runs or thread caps.
 /// * `SpaceSweeps` — per-virtual-timestep sweeps of the space-blocked
 ///   executor.
-/// * `PencilRows` — contiguous z-rows computed by the SIMD pencil kernels
-///   (`KernelPath::Pencil`); zero when a run uses the scalar per-point path.
+/// * `PencilRows` — contiguous z-rows computed by the row-granularity
+///   vector backends (portable pencil or AVX2); zero when a run uses the
+///   scalar per-point path.
 ///   Deterministic for a given schedule and grid, independent of the thread
 ///   policy.
 /// * `ShotStarted` / `ShotCompleted` — shot solves begun / finished by the
@@ -64,6 +65,12 @@ pub mod trace;
 /// * `BatchAutotune` — batch-level autotune passes run by the survey engine:
 ///   one per shot batch that tuned a schedule (subsequent batches sharing
 ///   the model reuse the result and do not count).
+/// * `BackendScalar` / `BackendPortable` / `BackendAvx2` — which dense
+///   kernel backend served a run: the propagators bump exactly one of these
+///   by 1 per `run`/`run_recording`/`run_range` call, after resolving the
+///   `KernelPath` (so an `Auto` run records the backend it actually
+///   dispatched to). Deterministic for a given host + `TEMPEST_KERNEL` /
+///   `--kernel` selection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Counter {
@@ -82,10 +89,13 @@ pub enum Counter {
     ShotStarted,
     ShotCompleted,
     BatchAutotune,
+    BackendScalar,
+    BackendPortable,
+    BackendAvx2,
 }
 
 impl Counter {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 18;
     pub const ALL: [Counter; Self::COUNT] = [
         Counter::StencilUpdates,
         Counter::SourceInjections,
@@ -102,6 +112,9 @@ impl Counter {
         Counter::ShotStarted,
         Counter::ShotCompleted,
         Counter::BatchAutotune,
+        Counter::BackendScalar,
+        Counter::BackendPortable,
+        Counter::BackendAvx2,
     ];
 
     pub fn name(self) -> &'static str {
@@ -121,6 +134,9 @@ impl Counter {
             Counter::ShotStarted => "shot_started",
             Counter::ShotCompleted => "shot_completed",
             Counter::BatchAutotune => "batch_autotune",
+            Counter::BackendScalar => "backend_scalar",
+            Counter::BackendPortable => "backend_portable",
+            Counter::BackendAvx2 => "backend_avx2",
         }
     }
 }

@@ -1,0 +1,493 @@
+//! Explicit AVX2 (256-bit) intrinsic kernels — the `Avx2` backend's row
+//! bodies.
+//!
+//! Each function is the hand-vectorized twin of one pencil kernel in
+//! [`crate::simd`]: the same hoisted offset windows, validated once per row,
+//! then an 8-lane main loop of unaligned 256-bit loads
+//! (`_mm256_loadu_ps`) with **separate** multiply and add intrinsics
+//! (`_mm256_mul_ps` + `_mm256_add_ps`, never `_mm256_fmadd_ps`). Rust does
+//! not enable floating-point contraction, so each lane executes exactly the
+//! scalar kernel's accumulation chain — two roundings per `w·(a±b)` term, in
+//! the same `k` order — and the results are bitwise identical to
+//! [`crate::kernels`]. The sub-lane tail of every row is finished by the
+//! per-point scalar kernel itself, which is bitwise-equal by definition.
+//!
+//! # Safety
+//!
+//! Every function here is `unsafe` and `#[target_feature(enable = "avx2")]`:
+//! calling one on a CPU without AVX2 is undefined behaviour. The only
+//! callers are the [`crate::backend::Avx2`] backend methods, which assert
+//! `is_x86_feature_detected!("avx2")` before entering. Bounds safety is
+//! re-established inside each function by the row-level window checks (the
+//! same checks, panicking at the same inputs, as the portable kernels);
+//! after they pass, every pointer the lane loop dereferences is in bounds.
+
+// Scalar tails index `out[jj]` and read `u` at `i0 + jj` with the same
+// counter; the range loop keeps them visibly in lockstep with the scalar
+// kernels they delegate to.
+#![allow(clippy::needless_range_loop)]
+
+use core::arch::x86_64::*;
+
+use crate::kernels::{self, AxisWeights};
+use crate::simd::LANE;
+
+/// Row-level bounds check for one offset window `u[start .. start + n]` —
+/// panics exactly when the portable kernel's `window()` (and hence the
+/// scalar kernel's indexing) would.
+#[inline(always)]
+fn check_window(u: &[f32], start: usize, n: usize) {
+    let _ = &u[start..start + n];
+}
+
+/// 3-D Laplacian row, compile-time radius (twin of
+/// [`crate::simd::laplacian_pencil_r`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub unsafe fn laplacian_row_r<const R: usize>(
+    u: &[f32],
+    i0: usize,
+    sx: usize,
+    sy: usize,
+    center: f32,
+    wx: &[f32; R],
+    wy: &[f32; R],
+    wz: &[f32; R],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    check_window(u, i0, n);
+    for k in 0..R {
+        for s in [sx, sy, 1] {
+            let o = (k + 1) * s;
+            check_window(u, i0 + o, n);
+            check_window(u, i0 - o, n);
+        }
+    }
+    let p = u.as_ptr();
+    let vc = _mm256_set1_ps(center);
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_mul_ps(vc, _mm256_loadu_ps(p.add(i0 + j)));
+        for (w, s) in [(&wx[..], sx), (&wy[..], sy), (&wz[..], 1)] {
+            for (k, &wk) in w.iter().enumerate() {
+                let o = (k + 1) * s;
+                let sum = _mm256_add_ps(
+                    _mm256_loadu_ps(p.add(i0 + o + j)),
+                    _mm256_loadu_ps(p.add(i0 - o + j)),
+                );
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), sum));
+            }
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::laplacian_at_r::<R>(u, i0 + jj, sx, sy, center, wx, wy, wz);
+    }
+}
+
+/// 3-D Laplacian row, dynamic radius (twin of
+/// [`crate::simd::laplacian_pencil`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub unsafe fn laplacian_row(
+    u: &[f32],
+    i0: usize,
+    sx: usize,
+    sy: usize,
+    center: f32,
+    wx: &[f32],
+    wy: &[f32],
+    wz: &[f32],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    check_window(u, i0, n);
+    for (w, s) in [(wx, sx), (wy, sy), (wz, 1)] {
+        for k in 0..w.len() {
+            let o = (k + 1) * s;
+            check_window(u, i0 + o, n);
+            check_window(u, i0 - o, n);
+        }
+    }
+    let p = u.as_ptr();
+    let vc = _mm256_set1_ps(center);
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_mul_ps(vc, _mm256_loadu_ps(p.add(i0 + j)));
+        for (w, s) in [(wx, sx), (wy, sy), (wz, 1)] {
+            for (k, &wk) in w.iter().enumerate() {
+                let o = (k + 1) * s;
+                let sum = _mm256_add_ps(
+                    _mm256_loadu_ps(p.add(i0 + o + j)),
+                    _mm256_loadu_ps(p.add(i0 - o + j)),
+                );
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), sum));
+            }
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::laplacian_at(u, i0 + jj, sx, sy, center, wx, wy, wz);
+    }
+}
+
+/// Second derivative along one axis for a whole row, compile-time radius
+/// (twin of [`crate::simd::second_diff_pencil_r`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn second_diff_row_r<const R: usize>(
+    u: &[f32],
+    i0: usize,
+    s: usize,
+    center: f32,
+    side: &[f32; R],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    check_window(u, i0, n);
+    for k in 0..R {
+        let o = (k + 1) * s;
+        check_window(u, i0 + o, n);
+        check_window(u, i0 - o, n);
+    }
+    let p = u.as_ptr();
+    let vc = _mm256_set1_ps(center);
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_mul_ps(vc, _mm256_loadu_ps(p.add(i0 + j)));
+        for (k, &wk) in side.iter().enumerate() {
+            let o = (k + 1) * s;
+            let sum = _mm256_add_ps(
+                _mm256_loadu_ps(p.add(i0 + o + j)),
+                _mm256_loadu_ps(p.add(i0 - o + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), sum));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::second_diff_axis_r::<R>(u, i0 + jj, s, center, side);
+    }
+}
+
+/// Second derivative along one axis, dynamic radius (twin of
+/// [`crate::simd::second_diff_pencil`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn second_diff_row(u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]) {
+    let n = out.len();
+    check_window(u, i0, n);
+    for k in 0..w.side.len() {
+        let o = (k + 1) * s;
+        check_window(u, i0 + o, n);
+        check_window(u, i0 - o, n);
+    }
+    let p = u.as_ptr();
+    let vc = _mm256_set1_ps(w.center);
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_mul_ps(vc, _mm256_loadu_ps(p.add(i0 + j)));
+        for (k, &wk) in w.side.iter().enumerate() {
+            let o = (k + 1) * s;
+            let sum = _mm256_add_ps(
+                _mm256_loadu_ps(p.add(i0 + o + j)),
+                _mm256_loadu_ps(p.add(i0 - o + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), sum));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::second_diff_axis(u, i0 + jj, s, w);
+    }
+}
+
+/// Centred first derivative for a whole row, dynamic radius (twin of
+/// [`crate::simd::first_diff_pencil`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn first_diff_row(u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    for k in 0..w.len() {
+        let o = (k + 1) * s;
+        check_window(u, i0 + o, n);
+        check_window(u, i0 - o, n);
+    }
+    let p = u.as_ptr();
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &wk) in w.iter().enumerate() {
+            let o = (k + 1) * s;
+            let diff = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(i0 + o + j)),
+                _mm256_loadu_ps(p.add(i0 - o + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), diff));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::first_diff_axis(u, i0 + jj, s, w);
+    }
+}
+
+/// Mixed second derivative `∂²/∂a∂b` for a whole row, compile-time radius
+/// (twin of [`crate::simd::cross_diff_pencil_r`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn cross_diff_row_r<const R: usize>(
+    u: &[f32],
+    i0: usize,
+    s1: usize,
+    s2: usize,
+    w1: &[f32; R],
+    w2: &[f32; R],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    for jx in 0..R {
+        let o1 = (jx + 1) * s1;
+        for k in 0..R {
+            let o2 = (k + 1) * s2;
+            check_window(u, i0 + o1 + o2, n);
+            check_window(u, i0 - o1 - o2, n);
+            check_window(u, i0 + o1 - o2, n);
+            check_window(u, i0 - o1 + o2, n);
+        }
+    }
+    let p = u.as_ptr();
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (jx, &wj) in w1.iter().enumerate() {
+            let o1 = (jx + 1) * s1;
+            let mut inner = _mm256_setzero_ps();
+            for (k, &wk) in w2.iter().enumerate() {
+                let o2 = (k + 1) * s2;
+                let same = _mm256_add_ps(
+                    _mm256_loadu_ps(p.add(i0 + o1 + o2 + j)),
+                    _mm256_loadu_ps(p.add(i0 - o1 - o2 + j)),
+                );
+                let opposite = _mm256_add_ps(
+                    _mm256_loadu_ps(p.add(i0 + o1 - o2 + j)),
+                    _mm256_loadu_ps(p.add(i0 - o1 + o2 + j)),
+                );
+                inner = _mm256_add_ps(
+                    inner,
+                    _mm256_mul_ps(_mm256_set1_ps(wk), _mm256_sub_ps(same, opposite)),
+                );
+            }
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wj), inner));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::cross_diff_r::<R>(u, i0 + jj, s1, s2, w1, w2);
+    }
+}
+
+/// Staggered forward first derivative (at `i + ½`) for a whole row,
+/// compile-time radius (twin of [`crate::simd::staggered_pencil_fwd_r`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn staggered_fwd_row_r<const R: usize>(
+    u: &[f32],
+    i0: usize,
+    s: usize,
+    w: &[f32; R],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    for k in 0..R {
+        check_window(u, i0 + (k + 1) * s, n);
+        check_window(u, i0 - k * s, n);
+    }
+    let p = u.as_ptr();
+    // Hoist the weight broadcasts and unroll ×2: two independent
+    // accumulator chains per iteration keep the load ports busy (matching
+    // the ILP the autovectorizer gives the portable twin).
+    let mut wv = [_mm256_setzero_ps(); R];
+    for k in 0..R {
+        wv[k] = _mm256_set1_ps(w[k]);
+    }
+    let mut j = 0;
+    while j + 2 * LANE <= n {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for (k, &wk) in wv.iter().enumerate() {
+            let hi = i0 + (k + 1) * s + j;
+            let lo = i0 - k * s + j;
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(p.add(hi)), _mm256_loadu_ps(p.add(lo)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(hi + LANE)),
+                _mm256_loadu_ps(p.add(lo + LANE)),
+            );
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wk, d0));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wk, d1));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc0);
+        _mm256_storeu_ps(out.as_mut_ptr().add(j + LANE), acc1);
+        j += 2 * LANE;
+    }
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &wk) in wv.iter().enumerate() {
+            let diff = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(i0 + (k + 1) * s + j)),
+                _mm256_loadu_ps(p.add(i0 - k * s + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wk, diff));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::staggered_diff_fwd_r::<R>(u, i0 + jj, s, w);
+    }
+}
+
+/// Staggered backward first derivative (at `i − ½`) for a whole row,
+/// compile-time radius (twin of [`crate::simd::staggered_pencil_bwd_r`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn staggered_bwd_row_r<const R: usize>(
+    u: &[f32],
+    i0: usize,
+    s: usize,
+    w: &[f32; R],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    for k in 0..R {
+        check_window(u, i0 + k * s, n);
+        check_window(u, i0 - (k + 1) * s, n);
+    }
+    let p = u.as_ptr();
+    // Same hoisted-broadcast ×2 unroll as the forward twin.
+    let mut wv = [_mm256_setzero_ps(); R];
+    for k in 0..R {
+        wv[k] = _mm256_set1_ps(w[k]);
+    }
+    let mut j = 0;
+    while j + 2 * LANE <= n {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for (k, &wk) in wv.iter().enumerate() {
+            let hi = i0 + k * s + j;
+            let lo = i0 - (k + 1) * s + j;
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(p.add(hi)), _mm256_loadu_ps(p.add(lo)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(hi + LANE)),
+                _mm256_loadu_ps(p.add(lo + LANE)),
+            );
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wk, d0));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wk, d1));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc0);
+        _mm256_storeu_ps(out.as_mut_ptr().add(j + LANE), acc1);
+        j += 2 * LANE;
+    }
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &wk) in wv.iter().enumerate() {
+            let diff = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(i0 + k * s + j)),
+                _mm256_loadu_ps(p.add(i0 - (k + 1) * s + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wk, diff));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::staggered_diff_bwd_r::<R>(u, i0 + jj, s, w);
+    }
+}
+
+/// Staggered forward derivative, dynamic radius (twin of
+/// [`crate::simd::staggered_pencil_fwd`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn staggered_fwd_row(u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    for k in 0..w.len() {
+        check_window(u, i0 + (k + 1) * s, n);
+        check_window(u, i0 - k * s, n);
+    }
+    let p = u.as_ptr();
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &wk) in w.iter().enumerate() {
+            let diff = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(i0 + (k + 1) * s + j)),
+                _mm256_loadu_ps(p.add(i0 - k * s + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), diff));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::staggered_diff_fwd(u, i0 + jj, s, w);
+    }
+}
+
+/// Staggered backward derivative, dynamic radius (twin of
+/// [`crate::simd::staggered_pencil_bwd`]).
+///
+/// # Safety
+/// The host CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn staggered_bwd_row(u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    for k in 0..w.len() {
+        check_window(u, i0 + k * s, n);
+        check_window(u, i0 - (k + 1) * s, n);
+    }
+    let p = u.as_ptr();
+    let mut j = 0;
+    while j + LANE <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &wk) in w.iter().enumerate() {
+            let diff = _mm256_sub_ps(
+                _mm256_loadu_ps(p.add(i0 + k * s + j)),
+                _mm256_loadu_ps(p.add(i0 - (k + 1) * s + j)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(wk), diff));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+        j += LANE;
+    }
+    for jj in j..n {
+        out[jj] = kernels::staggered_diff_bwd(u, i0 + jj, s, w);
+    }
+}

@@ -1,0 +1,1063 @@
+//! Kernel backends and the runtime SIMD dispatcher.
+//!
+//! Every dense stencil update in the workspace flows through one of three
+//! interchangeable row-granularity backends:
+//!
+//! * [`Scalar`] — a per-point loop over the [`crate::kernels`] building
+//!   blocks. The reference semantics: every other backend must reproduce its
+//!   output bit-for-bit.
+//! * [`Portable`] — the autovectorizer-shaped pencil kernels of
+//!   [`crate::simd`]: offset windows hoisted and bounds-checked once per
+//!   row, then plain loops LLVM vectorizes to [`crate::simd::LANE`]-wide
+//!   ops on any target.
+//! * [`Avx2`] — explicit `std::arch::x86_64` intrinsics ([`crate::avx2`]):
+//!   unaligned 256-bit loads over the same hoisted windows, multiply then
+//!   add with no FMA contraction. Only available where
+//!   `is_x86_feature_detected!("avx2")` holds.
+//!
+//! All three implement [`KernelBackend`] (row update per supported kernel
+//! shape plus [`BackendCaps`] capability metadata); the [`Backend`] enum is
+//! the runtime-selectable handle the propagators dispatch through. The
+//! bitwise-equivalence contract is the oracle: for identical inputs, every
+//! backend's row output has `to_bits()`-identical elements (asserted by the
+//! tests below and by the workspace-level `kernel_backends` suite), so
+//! backends — like schedules — are interchangeable without changing a
+//! single output bit.
+//!
+//! # Dispatch order and override precedence
+//!
+//! [`default_backend`] resolves once per process (cached in a [`OnceLock`])
+//! to the best backend the host supports: `Avx2` where detected, else
+//! `Portable`. Overrides, strongest first:
+//!
+//! 1. an explicit `--kernel` flag (an `Execution` carrying a concrete
+//!    `KernelPath`, resolved by `tempest-core`),
+//! 2. the [`TEMPEST_KERNEL`](KERNEL_ENV) environment variable
+//!    (`scalar` | `portable` | `avx2`; `pencil` is an alias for `portable`,
+//!    `auto` for detection),
+//! 3. the detected best ([`detect_best`]).
+//!
+//! A forced backend that the host cannot run (e.g. `TEMPEST_KERNEL=avx2` on
+//! a non-AVX2 machine) falls back cleanly to [`detect_best`] with a one-time
+//! warning on stderr — never UB, never a crash. This is the seam future
+//! backends (AVX-512, NEON, GPU offload) plug into: implement
+//! [`KernelBackend`], add a [`Backend`] variant, extend [`detect_best`].
+
+use std::sync::OnceLock;
+
+use crate::kernels::{self, AxisWeights};
+use crate::simd;
+
+/// Capability metadata for one kernel backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Stable lowercase name (`scalar`, `portable`, `avx2`) — used by
+    /// `--kernel`, `TEMPEST_KERNEL`, report columns and obs labels.
+    pub name: &'static str,
+    /// f32 elements per vector step (1 = per-point).
+    pub lanes: usize,
+    /// CPU feature the backend needs at runtime; `None` runs anywhere.
+    pub cpu_feature: Option<&'static str>,
+}
+
+/// Whether the current host supports a named CPU feature.
+fn host_has_feature(feature: &str) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match feature {
+            "avx2" => std::arch::is_x86_feature_detected!("avx2"),
+            _ => false,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = feature;
+        false
+    }
+}
+
+/// One interchangeable dense-kernel implementation: a row update for each
+/// supported kernel shape (`out[j]` receives the stencil value at linear
+/// index `i0 + j`) plus capability metadata. Radius is a const generic on
+/// the `_r` methods (monomorphised per space order by the propagators) with
+/// dynamic-radius fallbacks; implementations must be bitwise-identical to
+/// [`Scalar`] for every method.
+pub trait KernelBackend {
+    /// Capability metadata.
+    fn caps(&self) -> BackendCaps;
+
+    /// Whether this backend can run on the current host.
+    fn available(&self) -> bool {
+        self.caps().cpu_feature.is_none_or(host_has_feature)
+    }
+
+    /// 3-D Laplacian row, compile-time radius.
+    #[allow(clippy::too_many_arguments)]
+    fn laplacian_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32; R],
+        wy: &[f32; R],
+        wz: &[f32; R],
+        out: &mut [f32],
+    );
+
+    /// 3-D Laplacian row, dynamic radius.
+    #[allow(clippy::too_many_arguments)]
+    fn laplacian_row(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32],
+        wy: &[f32],
+        wz: &[f32],
+        out: &mut [f32],
+    );
+
+    /// Second derivative along one axis, compile-time radius.
+    fn second_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        center: f32,
+        side: &[f32; R],
+        out: &mut [f32],
+    );
+
+    /// Second derivative along one axis, dynamic radius.
+    fn second_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]);
+
+    /// Centred first derivative, dynamic radius.
+    fn first_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]);
+
+    /// Mixed second derivative `∂²/∂a∂b`, compile-time radius.
+    #[allow(clippy::too_many_arguments)]
+    fn cross_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s1: usize,
+        s2: usize,
+        w1: &[f32; R],
+        w2: &[f32; R],
+        out: &mut [f32],
+    );
+
+    /// Staggered forward derivative (at `i + ½`), compile-time radius.
+    fn staggered_fwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    );
+
+    /// Staggered backward derivative (at `i − ½`), compile-time radius.
+    fn staggered_bwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    );
+
+    /// Staggered forward derivative, dynamic radius.
+    fn staggered_fwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]);
+
+    /// Staggered backward derivative, dynamic radius.
+    fn staggered_bwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]);
+}
+
+/// Reference backend: per-point loops over [`crate::kernels`]. Defines the
+/// floating-point semantics every other backend must match bitwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scalar;
+
+impl KernelBackend for Scalar {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps { name: "scalar", lanes: 1, cpu_feature: None }
+    }
+
+    fn laplacian_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32; R],
+        wy: &[f32; R],
+        wz: &[f32; R],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::laplacian_at_r::<R>(u, i0 + j, sx, sy, center, wx, wy, wz);
+        }
+    }
+
+    fn laplacian_row(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32],
+        wy: &[f32],
+        wz: &[f32],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::laplacian_at(u, i0 + j, sx, sy, center, wx, wy, wz);
+        }
+    }
+
+    fn second_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        center: f32,
+        side: &[f32; R],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::second_diff_axis_r::<R>(u, i0 + j, s, center, side);
+        }
+    }
+
+    fn second_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::second_diff_axis(u, i0 + j, s, w);
+        }
+    }
+
+    fn first_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::first_diff_axis(u, i0 + j, s, w);
+        }
+    }
+
+    fn cross_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s1: usize,
+        s2: usize,
+        w1: &[f32; R],
+        w2: &[f32; R],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::cross_diff_r::<R>(u, i0 + j, s1, s2, w1, w2);
+        }
+    }
+
+    fn staggered_fwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::staggered_diff_fwd_r::<R>(u, i0 + j, s, w);
+        }
+    }
+
+    fn staggered_bwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::staggered_diff_bwd_r::<R>(u, i0 + j, s, w);
+        }
+    }
+
+    fn staggered_fwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::staggered_diff_fwd(u, i0 + j, s, w);
+        }
+    }
+
+    fn staggered_bwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = kernels::staggered_diff_bwd(u, i0 + j, s, w);
+        }
+    }
+}
+
+/// Autovectorizer-shaped backend: the pencil kernels of [`crate::simd`].
+/// Runs on any target; LLVM's loop vectorizer supplies the SIMD.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Portable;
+
+impl KernelBackend for Portable {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps { name: "portable", lanes: simd::LANE, cpu_feature: None }
+    }
+
+    fn laplacian_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32; R],
+        wy: &[f32; R],
+        wz: &[f32; R],
+        out: &mut [f32],
+    ) {
+        simd::laplacian_pencil_r::<R>(u, i0, sx, sy, center, wx, wy, wz, out);
+    }
+
+    fn laplacian_row(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32],
+        wy: &[f32],
+        wz: &[f32],
+        out: &mut [f32],
+    ) {
+        simd::laplacian_pencil(u, i0, sx, sy, center, wx, wy, wz, out);
+    }
+
+    fn second_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        center: f32,
+        side: &[f32; R],
+        out: &mut [f32],
+    ) {
+        simd::second_diff_pencil_r::<R>(u, i0, s, center, side, out);
+    }
+
+    fn second_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]) {
+        simd::second_diff_pencil(u, i0, s, w, out);
+    }
+
+    fn first_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        simd::first_diff_pencil(u, i0, s, w, out);
+    }
+
+    fn cross_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s1: usize,
+        s2: usize,
+        w1: &[f32; R],
+        w2: &[f32; R],
+        out: &mut [f32],
+    ) {
+        simd::cross_diff_pencil_r::<R>(u, i0, s1, s2, w1, w2, out);
+    }
+
+    fn staggered_fwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        simd::staggered_pencil_fwd_r::<R>(u, i0, s, w, out);
+    }
+
+    fn staggered_bwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        simd::staggered_pencil_bwd_r::<R>(u, i0, s, w, out);
+    }
+
+    fn staggered_fwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        simd::staggered_pencil_fwd(u, i0, s, w, out);
+    }
+
+    fn staggered_bwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        simd::staggered_pencil_bwd(u, i0, s, w, out);
+    }
+}
+
+/// Explicit 256-bit intrinsics backend ([`crate::avx2`]). Every method
+/// asserts AVX2 availability before entering the `target_feature` region,
+/// so a mis-forced selection panics with a clear message instead of
+/// executing illegal instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Avx2;
+
+#[cfg(target_arch = "x86_64")]
+fn assert_avx2() {
+    assert!(
+        std::arch::is_x86_feature_detected!("avx2"),
+        "avx2 kernel backend selected but the CPU does not support AVX2 \
+         (use Backend::available() / the dispatcher to pick a runnable backend)"
+    );
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn no_avx2() -> ! {
+    panic!("avx2 kernel backend is only available on x86_64")
+}
+
+impl KernelBackend for Avx2 {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps { name: "avx2", lanes: 8, cpu_feature: Some("avx2") }
+    }
+
+    fn laplacian_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32; R],
+        wy: &[f32; R],
+        wz: &[f32; R],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::laplacian_row_r::<R>(u, i0, sx, sy, center, wx, wy, wz, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, sx, sy, center, wx, wy, wz, out);
+            no_avx2()
+        }
+    }
+
+    fn laplacian_row(
+        &self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32],
+        wy: &[f32],
+        wz: &[f32],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::laplacian_row(u, i0, sx, sy, center, wx, wy, wz, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, sx, sy, center, wx, wy, wz, out);
+            no_avx2()
+        }
+    }
+
+    fn second_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        center: f32,
+        side: &[f32; R],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::second_diff_row_r::<R>(u, i0, s, center, side, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, center, side, out);
+            no_avx2()
+        }
+    }
+
+    fn second_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::second_diff_row(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+
+    fn first_diff_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::first_diff_row(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+
+    fn cross_diff_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s1: usize,
+        s2: usize,
+        w1: &[f32; R],
+        w2: &[f32; R],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::cross_diff_row_r::<R>(u, i0, s1, s2, w1, w2, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s1, s2, w1, w2, out);
+            no_avx2()
+        }
+    }
+
+    fn staggered_fwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::staggered_fwd_row_r::<R>(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+
+    fn staggered_bwd_row_r<const R: usize>(
+        &self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::staggered_bwd_row_r::<R>(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+
+    fn staggered_fwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::staggered_fwd_row(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+
+    fn staggered_bwd_row(&self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_avx2();
+            // SAFETY: AVX2 support was just asserted.
+            unsafe { crate::avx2::staggered_bwd_row(u, i0, s, w, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (u, i0, s, w, out);
+            no_avx2()
+        }
+    }
+}
+
+/// Runtime-selectable handle over the three [`KernelBackend`]
+/// implementations. The trait's const-generic radius methods make it
+/// non-object-safe, so propagators hold this `Copy` enum and dispatch by
+/// match; each arm is a direct (inlineable) call into the chosen backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Backend {
+    /// Per-point reference kernels.
+    Scalar,
+    /// Autovectorizer-shaped pencil kernels (runs anywhere).
+    Portable,
+    /// Explicit AVX2 intrinsics (x86_64 with AVX2 only).
+    Avx2,
+}
+
+/// Dispatch one trait method through the enum.
+macro_rules! dispatch {
+    ($self:ident, $method:ident $(::<$R:ident>)? ( $($arg:expr),* )) => {
+        match $self {
+            Backend::Scalar => Scalar.$method$(::<$R>)?($($arg),*),
+            Backend::Portable => Portable.$method$(::<$R>)?($($arg),*),
+            Backend::Avx2 => Avx2.$method$(::<$R>)?($($arg),*),
+        }
+    };
+}
+
+impl Backend {
+    /// Every backend, in preference order (best last).
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Portable, Backend::Avx2];
+
+    /// Stable lowercase name (matches `--kernel` / `TEMPEST_KERNEL` values).
+    pub fn name(self) -> &'static str {
+        self.caps().name
+    }
+
+    /// Capability metadata of the selected backend.
+    pub fn caps(self) -> BackendCaps {
+        match self {
+            Backend::Scalar => Scalar.caps(),
+            Backend::Portable => Portable.caps(),
+            Backend::Avx2 => Avx2.caps(),
+        }
+    }
+
+    /// Whether the selected backend can run on this host.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar => Scalar.available(),
+            Backend::Portable => Portable.available(),
+            Backend::Avx2 => Avx2.available(),
+        }
+    }
+
+    /// Parse a backend name (case-insensitive). `pencil` is accepted as a
+    /// compatibility alias for `portable`; `auto` is *not* a backend — the
+    /// dispatcher handles it.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "portable" | "pencil" => Some(Backend::Portable),
+            "avx2" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// 3-D Laplacian row, compile-time radius.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn laplacian_row_r<const R: usize>(
+        self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32; R],
+        wy: &[f32; R],
+        wz: &[f32; R],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, laplacian_row_r::<R>(u, i0, sx, sy, center, wx, wy, wz, out))
+    }
+
+    /// 3-D Laplacian row, dynamic radius.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn laplacian_row(
+        self,
+        u: &[f32],
+        i0: usize,
+        sx: usize,
+        sy: usize,
+        center: f32,
+        wx: &[f32],
+        wy: &[f32],
+        wz: &[f32],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, laplacian_row(u, i0, sx, sy, center, wx, wy, wz, out))
+    }
+
+    /// Second derivative along one axis, compile-time radius.
+    #[inline]
+    pub fn second_diff_row_r<const R: usize>(
+        self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        center: f32,
+        side: &[f32; R],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, second_diff_row_r::<R>(u, i0, s, center, side, out))
+    }
+
+    /// Second derivative along one axis, dynamic radius.
+    #[inline]
+    pub fn second_diff_row(self, u: &[f32], i0: usize, s: usize, w: &AxisWeights, out: &mut [f32]) {
+        dispatch!(self, second_diff_row(u, i0, s, w, out))
+    }
+
+    /// Centred first derivative, dynamic radius.
+    #[inline]
+    pub fn first_diff_row(self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        dispatch!(self, first_diff_row(u, i0, s, w, out))
+    }
+
+    /// Mixed second derivative `∂²/∂a∂b`, compile-time radius.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn cross_diff_row_r<const R: usize>(
+        self,
+        u: &[f32],
+        i0: usize,
+        s1: usize,
+        s2: usize,
+        w1: &[f32; R],
+        w2: &[f32; R],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, cross_diff_row_r::<R>(u, i0, s1, s2, w1, w2, out))
+    }
+
+    /// Staggered forward derivative, compile-time radius.
+    #[inline]
+    pub fn staggered_fwd_row_r<const R: usize>(
+        self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, staggered_fwd_row_r::<R>(u, i0, s, w, out))
+    }
+
+    /// Staggered backward derivative, compile-time radius.
+    #[inline]
+    pub fn staggered_bwd_row_r<const R: usize>(
+        self,
+        u: &[f32],
+        i0: usize,
+        s: usize,
+        w: &[f32; R],
+        out: &mut [f32],
+    ) {
+        dispatch!(self, staggered_bwd_row_r::<R>(u, i0, s, w, out))
+    }
+
+    /// Staggered forward derivative, dynamic radius.
+    #[inline]
+    pub fn staggered_fwd_row(self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        dispatch!(self, staggered_fwd_row(u, i0, s, w, out))
+    }
+
+    /// Staggered backward derivative, dynamic radius.
+    #[inline]
+    pub fn staggered_bwd_row(self, u: &[f32], i0: usize, s: usize, w: &[f32], out: &mut [f32]) {
+        dispatch!(self, staggered_bwd_row(u, i0, s, w, out))
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Name of the environment variable the dispatcher honours.
+pub const KERNEL_ENV: &str = "TEMPEST_KERNEL";
+
+/// The best backend the current host supports: `Avx2` where detected,
+/// `Portable` everywhere else. `Scalar` is never auto-selected — it exists
+/// as the reference semantics and for explicit ablation.
+pub fn detect_best() -> Backend {
+    if Backend::Avx2.available() {
+        Backend::Avx2
+    } else {
+        Backend::Portable
+    }
+}
+
+/// Pure dispatch decision: resolve an optional override string (the value
+/// of [`KERNEL_ENV`], or `None` when unset) to a runnable backend.
+///
+/// `auto`, an empty value, an unknown name, or a backend the host cannot
+/// run all fall back cleanly to [`detect_best`]; a known, available backend
+/// is honoured. Kept free of environment access so tests can cover every
+/// case without process-global races.
+pub fn choose(request: Option<&str>) -> Backend {
+    match request.map(str::trim).filter(|s| !s.is_empty()) {
+        None => detect_best(),
+        Some(s) if s.eq_ignore_ascii_case("auto") => detect_best(),
+        Some(s) => match Backend::parse(s) {
+            Some(b) if b.available() => b,
+            _ => detect_best(),
+        },
+    }
+}
+
+/// The process-wide default backend: [`choose`] applied to
+/// [`KERNEL_ENV`], resolved once and cached in a [`OnceLock`] (later
+/// environment changes are ignored). Logs a one-time stderr warning when a
+/// forced value could not be honoured.
+pub fn default_backend() -> Backend {
+    static CHOICE: OnceLock<Backend> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        let env = std::env::var(KERNEL_ENV).ok();
+        let request = env.as_deref().map(str::trim).filter(|s| !s.is_empty());
+        let picked = choose(request);
+        if let Some(s) = request {
+            if !s.eq_ignore_ascii_case("auto") {
+                match Backend::parse(s) {
+                    Some(req) if req.available() => {}
+                    Some(req) => eprintln!(
+                        "tempest: {KERNEL_ENV}={} is not available on this host; using {}",
+                        req.name(),
+                        picked.name()
+                    ),
+                    None => eprintln!(
+                        "tempest: unknown {KERNEL_ENV} value {s:?}; using {}",
+                        picked.name()
+                    ),
+                }
+            }
+        }
+        picked
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{first_derivative_weights, staggered_weights};
+    use tempest_grid::Rng64;
+
+    fn volume(seed: u64, nx: usize, ny: usize, nz: usize) -> (Vec<f32>, usize, usize) {
+        let mut rng = Rng64::new(seed);
+        let u: Vec<f32> = (0..nx * ny * nz)
+            .map(|_| rng.next_f32() * 2.0 - 1.0)
+            .collect();
+        (u, ny * nz, nz)
+    }
+
+    /// Unaligned bases, sub-lane rows, lane + tail — the same coverage the
+    /// simd suite uses.
+    fn row_cases(nz: usize, r: usize) -> Vec<(usize, usize)> {
+        let mut cases = vec![
+            (r, nz - 2 * r),
+            (r + 1, nz - 2 * r - 1),
+            (r + 3, 5),
+            (r, simd::LANE),
+            (r + 2, simd::LANE + 3),
+            (r, 0),
+        ];
+        cases.retain(|&(z0, n)| z0 + n + r <= nz);
+        cases
+    }
+
+    /// Backends under test on this host: always Scalar + Portable, plus
+    /// Avx2 where the CPU supports it.
+    fn testable() -> Vec<Backend> {
+        Backend::ALL.into_iter().filter(|b| b.available()).collect()
+    }
+
+    #[test]
+    fn caps_are_consistent() {
+        assert_eq!(Backend::Scalar.caps().lanes, 1);
+        assert_eq!(Backend::Portable.caps().lanes, simd::LANE);
+        assert_eq!(Backend::Avx2.caps().cpu_feature, Some("avx2"));
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!(Backend::Scalar.available());
+        assert!(Backend::Portable.available());
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_unknown() {
+        assert_eq!(Backend::parse("pencil"), Some(Backend::Portable));
+        assert_eq!(Backend::parse("  AVX2 "), Some(Backend::Avx2));
+        assert_eq!(Backend::parse("auto"), None);
+        assert_eq!(Backend::parse("neon"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn detect_best_is_available_and_vectorized() {
+        let b = detect_best();
+        assert!(b.available());
+        assert!(b.caps().lanes > 1, "auto-selected backend must be vectorized");
+    }
+
+    #[test]
+    fn choose_honours_requests_and_falls_back_cleanly() {
+        // No request / auto / empty → detected best.
+        assert_eq!(choose(None), detect_best());
+        assert_eq!(choose(Some("auto")), detect_best());
+        assert_eq!(choose(Some("  ")), detect_best());
+        // Always-available backends are honoured verbatim.
+        assert_eq!(choose(Some("scalar")), Backend::Scalar);
+        assert_eq!(choose(Some("portable")), Backend::Portable);
+        assert_eq!(choose(Some("pencil")), Backend::Portable);
+        // Unknown names never panic, never pick an unrunnable backend.
+        assert_eq!(choose(Some("gpu9000")), detect_best());
+        // A forced avx2 is honoured exactly when the host supports it.
+        let forced = choose(Some("avx2"));
+        if Backend::Avx2.available() {
+            assert_eq!(forced, Backend::Avx2);
+        } else {
+            assert_eq!(forced, detect_best());
+        }
+        assert!(forced.available());
+    }
+
+    #[test]
+    fn default_backend_is_runnable() {
+        assert!(default_backend().available());
+    }
+
+    #[test]
+    fn all_backends_match_scalar_bitwise_on_every_row_shape() {
+        let (nx, ny, nz) = (22, 21, 41);
+        let (u, sx, sy) = volume(29, nx, ny, nz);
+        for order in [4usize, 8, 12] {
+            let r = order / 2;
+            let w2 = AxisWeights::second_derivative(order, 3.0);
+            let center = 3.0 * w2.center;
+            let w1 = first_derivative_weights(order, 1.5);
+            let ws = staggered_weights(order, 5.0);
+            for &(z0, n) in &row_cases(nz, r) {
+                let i0 = (r * ny + r) * nz + z0;
+                for b in testable() {
+                    macro_rules! per_radius {
+                        ($R:literal) => {{
+                            let side: [f32; $R] = w2.side_array();
+                            let w1a: [f32; $R] = w1.clone().try_into().unwrap();
+                            let wsa: [f32; $R] = ws.clone().try_into().unwrap();
+                            let mut got = vec![0.0f32; n];
+                            let mut want = vec![0.0f32; n];
+                            b.laplacian_row_r::<$R>(
+                                &u, i0, sx, sy, center, &side, &side, &side, &mut got,
+                            );
+                            Scalar.laplacian_row_r::<$R>(
+                                &u, i0, sx, sy, center, &side, &side, &side, &mut want,
+                            );
+                            assert_bits(&got, &want, b, "laplacian_row_r", order);
+                            b.second_diff_row_r::<$R>(&u, i0, sy, w2.center, &side, &mut got);
+                            Scalar.second_diff_row_r::<$R>(
+                                &u, i0, sy, w2.center, &side, &mut want,
+                            );
+                            assert_bits(&got, &want, b, "second_diff_row_r", order);
+                            b.cross_diff_row_r::<$R>(&u, i0, sx, 1, &w1a, &w1a, &mut got);
+                            Scalar.cross_diff_row_r::<$R>(&u, i0, sx, 1, &w1a, &w1a, &mut want);
+                            assert_bits(&got, &want, b, "cross_diff_row_r", order);
+                            b.staggered_fwd_row_r::<$R>(&u, i0, sy, &wsa, &mut got);
+                            Scalar.staggered_fwd_row_r::<$R>(&u, i0, sy, &wsa, &mut want);
+                            assert_bits(&got, &want, b, "staggered_fwd_row_r", order);
+                            b.staggered_bwd_row_r::<$R>(&u, i0, sy, &wsa, &mut got);
+                            Scalar.staggered_bwd_row_r::<$R>(&u, i0, sy, &wsa, &mut want);
+                            assert_bits(&got, &want, b, "staggered_bwd_row_r", order);
+                        }};
+                    }
+                    match r {
+                        2 => per_radius!(2),
+                        4 => per_radius!(4),
+                        6 => per_radius!(6),
+                        _ => unreachable!(),
+                    }
+                    // Dynamic-radius methods.
+                    let mut got = vec![0.0f32; n];
+                    let mut want = vec![0.0f32; n];
+                    b.laplacian_row(&u, i0, sx, sy, center, &w2.side, &w2.side, &w2.side, &mut got);
+                    Scalar.laplacian_row(
+                        &u, i0, sx, sy, center, &w2.side, &w2.side, &w2.side, &mut want,
+                    );
+                    assert_bits(&got, &want, b, "laplacian_row", order);
+                    b.second_diff_row(&u, i0, sx, &w2, &mut got);
+                    Scalar.second_diff_row(&u, i0, sx, &w2, &mut want);
+                    assert_bits(&got, &want, b, "second_diff_row", order);
+                    b.first_diff_row(&u, i0, sy, &w1, &mut got);
+                    Scalar.first_diff_row(&u, i0, sy, &w1, &mut want);
+                    assert_bits(&got, &want, b, "first_diff_row", order);
+                    b.staggered_fwd_row(&u, i0, 1, &ws, &mut got);
+                    Scalar.staggered_fwd_row(&u, i0, 1, &ws, &mut want);
+                    assert_bits(&got, &want, b, "staggered_fwd_row", order);
+                    b.staggered_bwd_row(&u, i0, 1, &ws, &mut got);
+                    Scalar.staggered_bwd_row(&u, i0, 1, &ws, &mut want);
+                    assert_bits(&got, &want, b, "staggered_bwd_row", order);
+                }
+            }
+        }
+    }
+
+    fn assert_bits(got: &[f32], want: &[f32], b: Backend, kernel: &str, order: usize) {
+        for (j, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{b} diverges from scalar: {kernel} order {order} j {j}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn avx2_rows_keep_scalar_panic_semantics() {
+        // Out-of-bounds row: whichever backend runs, the row-level window
+        // check must fire like the scalar kernel's indexing would.
+        let u = vec![0.0f32; 64];
+        let mut out = vec![0.0f32; 8];
+        let b = if Backend::Avx2.available() { Backend::Avx2 } else { Backend::Portable };
+        b.laplacian_row(&u, 60, 16, 4, 1.0, &[0.5], &[0.5], &[0.5], &mut out);
+    }
+}

@@ -18,13 +18,24 @@
 //! All kernels operate on raw slices with precomputed strides so the `z`
 //! loop vectorises; weights are premultiplied by the `1/hᵏ` grid-spacing
 //! factors at construction time, keeping the hot loop multiply–add only.
+//!
+//! Three interchangeable row-granularity implementations of these kernels —
+//! per-point [`backend::Scalar`], autovectorizer-shaped [`backend::Portable`]
+//! ([`simd`]) and explicit-intrinsics [`backend::Avx2`] ([`avx2`]) — sit
+//! behind the [`backend::KernelBackend`] trait, selected at runtime by the
+//! [`backend`] dispatcher (CPU feature detection, `TEMPEST_KERNEL`
+//! override). All are bitwise-identical by contract.
 
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+pub mod backend;
 pub mod coeffs;
 pub mod descriptor;
 pub mod kernels;
 pub mod metrics;
 pub mod simd;
 
+pub use backend::{Backend, BackendCaps, KernelBackend};
 pub use coeffs::{central_coeffs, fornberg_weights, staggered_coeffs};
 pub use descriptor::StencilDescriptor;
 pub use kernels::AxisWeights;

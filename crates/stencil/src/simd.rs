@@ -1,6 +1,13 @@
 //! Pencil-granularity SIMD kernels: explicit fixed-width lanes over whole
 //! contiguous `z`-rows.
 //!
+//! These kernels are the [`crate::backend::Portable`] backend — one of the
+//! three runtime-selectable [`crate::backend::KernelBackend`]
+//! implementations (per-point `Scalar`, this module, and the explicit
+//! AVX2-intrinsics [`crate::avx2`] module). Backend selection order and the
+//! `--kernel` > `TEMPEST_KERNEL` > detected-best override precedence are
+//! documented in [`crate::backend`].
+//!
 //! The per-point kernels in [`crate::kernels`] are correct but ask a lot of
 //! the compiler: every call re-proves slice bounds for `2·r·3 + 1` indexed
 //! loads and re-loads the weight values, and the surrounding `z` loop only
@@ -25,7 +32,10 @@
 //!    ~3.6× slower than the vectorizer's own output on the same loop; see
 //!    `DESIGN.md` §10), whereas the loop form keeps everything in vector
 //!    registers. The [`Lane`] type below pins the width-`W` semantics the
-//!    vectorizer must honour and is asserted against the kernels in tests.
+//!    vectorizer must honour and is asserted against the kernels in tests;
+//!    the same per-lane semantics are realised with real 256-bit intrinsics
+//!    by the [`crate::avx2`] kernels, so `Lane` is no longer "only a spec" —
+//!    it is the contract both vector backends are tested against.
 //! 3. **Bitwise equality.** Every output element executes *exactly* the
 //!    floating-point operation sequence of the corresponding scalar kernel:
 //!    the same accumulation chain (`acc += w[k] * (…)` in the same `k`

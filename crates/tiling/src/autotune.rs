@@ -10,6 +10,7 @@
 use std::time::Duration;
 
 use crate::diamond::DiamondAxis;
+use tempest_stencil::Backend;
 
 /// One tunable schedule configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +38,9 @@ pub struct Candidate {
     /// Use the diamond (MWD) schedule on the chosen axis. Mutually
     /// exclusive with `diagonal` and `dataflow`.
     pub diamond: Option<DiamondAxis>,
+    /// Pin the row-update kernel backend for this candidate; `None` leaves
+    /// the runner's default (usually the runtime-detected best) in place.
+    pub kernel: Option<Backend>,
 }
 
 impl Candidate {
@@ -64,6 +68,12 @@ impl Candidate {
         self.dataflow = false;
         self
     }
+
+    /// The same schedule pinned to a specific kernel backend.
+    pub fn with_kernel(mut self, backend: Backend) -> Self {
+        self.kernel = Some(backend);
+        self
+    }
 }
 
 impl std::fmt::Display for Candidate {
@@ -81,6 +91,9 @@ impl std::fmt::Display for Candidate {
         )?;
         if let Some(axis) = self.diamond {
             write!(f, " / dmnd-{}", axis.name())?;
+        }
+        if let Some(backend) = self.kernel {
+            write!(f, " / k-{}", backend.name())?;
         }
         Ok(())
     }
@@ -111,6 +124,23 @@ pub fn with_diagonal_variants(cands: &[Candidate]) -> Vec<Candidate> {
 /// the variant still switches to dataflow (the flags are exclusive).
 pub fn with_dataflow_variants(cands: &[Candidate]) -> Vec<Candidate> {
     with_variants(cands, Candidate::with_dataflow)
+}
+
+/// Extend the sweep along the kernel-backend axis: every candidate gains
+/// one variant per *available* backend (unavailable ones — e.g. AVX2 on a
+/// host without it — are skipped, not failed). Bases keep `kernel: None`
+/// so the runner's default stays in the ranking as its own row.
+pub fn with_kernel_variants(cands: &[Candidate]) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(cands.len() * (1 + Backend::ALL.len()));
+    for &c in cands {
+        out.push(c);
+        for b in Backend::ALL {
+            if b.available() {
+                out.push(c.with_kernel(b));
+            }
+        }
+    }
+    out
 }
 
 /// Extend the sweep with diamond-schedule variants: every candidate whose
