@@ -237,6 +237,8 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
                 worst_imbalance: 1.0,
                 critical_path_ms: 0.0,
                 dropped_events: 0,
+                ai: 0.0,
+                roof_pct: 0.0,
             });
             row.push((mode, sample.median, share));
         }
@@ -278,7 +280,7 @@ fn record_entries(threads: usize, entries: Vec<BenchEntry>, label: &str) {
         threads,
         size: 64,
         nt: 8,
-        entries: Vec::new(),
+        ..Default::default()
     });
     for e in entries {
         report.entries.retain(|old| old.key() != e.key());
@@ -352,6 +354,8 @@ fn bench_diamond_vs_dataflow(cfg: Config) {
                 worst_imbalance: 1.0,
                 critical_path_ms: 0.0,
                 dropped_events: 0,
+                ai: 0.0,
+                roof_pct: 0.0,
             });
             row.push((mode, sample.median, share));
         }

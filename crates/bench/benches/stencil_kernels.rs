@@ -56,6 +56,8 @@ fn entry(shape: &str, so: usize, backend: Backend, elems: u64, s: &Sample) -> Be
         worst_imbalance: 1.0,
         critical_path_ms: 0.0,
         dropped_events: 0,
+        ai: 0.0,
+        roof_pct: 0.0,
     }
 }
 
@@ -192,7 +194,7 @@ fn record_entries(entries: Vec<BenchEntry>) {
         threads: tempest_par::available_threads(),
         size: 64,
         nt: 8,
-        entries: Vec::new(),
+        ..Default::default()
     });
     for e in entries {
         report.entries.retain(|old| old.key() != e.key());

@@ -20,12 +20,15 @@
 
 use std::path::PathBuf;
 
-use tempest_bench::perf_report::{check_regressions, host_name, BenchReport};
+use tempest_bench::perf_report::{check_regressions, git_sha, host_name, BenchReport};
 use tempest_bench::report::{f3, Table};
+use tempest_bench::roofline::{measure_bandwidth_gbs, measure_peak_gflops};
 use tempest_bench::{setup, sweep};
 use tempest_core::operator::KernelPath;
 use tempest_core::{Execution, WaveSolver};
 use tempest_obs as obs;
+use tempest_obs::analysis::Roofline;
+use tempest_stencil::metrics::{acoustic_cost, elastic_cost, tti_cost, KernelCost};
 use tempest_stencil::Backend;
 use tempest_survey::SurveyOptions;
 
@@ -37,6 +40,7 @@ struct ReportArgs {
     schedules: Option<Vec<String>>,
     kernels: Vec<KernelPath>,
     repeats: usize,
+    fast: bool,
     out: PathBuf,
     trace: bool,
     baseline: PathBuf,
@@ -55,6 +59,7 @@ fn parse_args() -> ReportArgs {
         schedules: None,
         kernels: vec![KernelPath::Auto],
         repeats: 2,
+        fast: false,
         out: PathBuf::from("results"),
         trace: false,
         baseline: PathBuf::from("results").join("baseline.json"),
@@ -80,6 +85,7 @@ fn parse_args() -> ReportArgs {
             "--fast" => {
                 a.size = a.size.min(32);
                 a.repeats = 1;
+                a.fast = true;
             }
             "--model" => {
                 i += 1;
@@ -258,6 +264,28 @@ fn wants_survey(filter: Option<&[String]>) -> bool {
     filter.map(|names| names.iter().any(|n| n == SURVEY_SCHEDULE)).unwrap_or(true)
 }
 
+/// Analytic per-point cost of a model at space order `so` — the roofline's
+/// operational-intensity input (paper Fig. 11).
+fn model_cost(model: &str, so: usize) -> KernelCost {
+    match model {
+        "acoustic" => acoustic_cost(so),
+        "tti" => tti_cost(so),
+        "elastic" => elastic_cost(so),
+        other => panic!("unknown model {other:?} (want acoustic, tti or elastic)"),
+    }
+}
+
+/// Characterise the machine ceilings with the in-process microbenchmarks.
+/// Cheap enough to always run (a few hundred ms); `--fast` shrinks it.
+fn measure_roof(fast: bool) -> Roofline {
+    let (iters, len, reps) = if fast {
+        (500_000, 1 << 20, 2)
+    } else {
+        (2_000_000, 1 << 22, 4)
+    };
+    Roofline::new(measure_peak_gflops(iters), measure_bandwidth_gbs(len, reps))
+}
+
 fn build_solver(model: &str, size: usize, so: usize, nt: usize) -> Box<dyn WaveSolver> {
     match model {
         "acoustic" => Box::new(setup::acoustic(size, so, nt, 8)),
@@ -286,15 +314,30 @@ fn main() {
         println!("note: built without the `obs` feature — telemetry columns will be zero");
     }
 
+    // Characterise the machine once; every matrix row lands on this roof.
+    let mut roof = measure_roof(args.fast);
+    println!(
+        "machine roof: peak {:.1} GFLOP/s, bandwidth {:.1} GB/s (ridge AI {:.2})",
+        roof.peak_gflops,
+        roof.bandwidth_gbs,
+        roof.ridge_ai()
+    );
+
     let mut table = Table::new(
         "tempest-report — throughput and load-balance matrix",
-        &["model", "schedule", "kernel", "GPts/s", "barrier%", "imbalance", "critpath ms", "drops"],
+        &[
+            "model", "schedule", "kernel", "GPts/s", "barrier%", "imbalance", "critpath ms",
+            "drops", "AI", "roof%",
+        ],
     );
     let mut report = BenchReport {
         host: host_name(),
         threads: tempest_par::available_threads(),
         size: args.size,
         nt: args.nt,
+        git_sha: git_sha(),
+        kernel_backend: kernel_label(KernelPath::Auto).to_string(),
+        tempest_threads: std::env::var("TEMPEST_THREADS").unwrap_or_default(),
         entries: Vec::new(),
     };
 
@@ -303,12 +346,25 @@ fn main() {
         for (sched_name, exec) in schedules(args.schedules.as_deref()) {
             for &kernel in &args.kernels {
                 let exec = sweep::with_kernel(exec, kernel);
-                let (entry, trace, meta) = BenchReport::measure_entry(
+                let (mut entry, trace, meta) = BenchReport::measure_entry(
                     solver.as_mut(),
                     &exec,
                     args.repeats,
                     kernel_label(kernel),
                 );
+                // Place the row on the roofline: operational intensity under
+                // the schedule's streaming model (temporal tiles divide the
+                // compulsory traffic by the reuse height, paper Fig. 11).
+                let cost = model_cost(model, args.so);
+                let tt = exec.schedule.temporal_reuse();
+                entry.ai = cost.flops / cost.bytes_streaming_temporal(tt);
+                roof.push(
+                    &format!("{}/{} t{tt}", entry.model, sched_name),
+                    entry.ai,
+                    entry.gpts_per_s,
+                    cost.flops,
+                );
+                entry.roof_pct = roof.roof_share(roof.entries.last().unwrap());
                 println!(
                     "  {model} {sched_name} {}: {:.3} GPts/s (barrier {:.1}%, imbalance {:.2}, {} trace events)",
                     kernel_label(kernel),
@@ -332,6 +388,8 @@ fn main() {
                     format!("{:.2}", entry.worst_imbalance),
                     format!("{:.3}", entry.critical_path_ms),
                     entry.dropped_events.to_string(),
+                    format!("{:.2}", entry.ai),
+                    format!("{:.1}", 100.0 * entry.roof_pct),
                 ]);
                 report.entries.push(entry);
             }
@@ -347,8 +405,19 @@ fn main() {
         let survey = setup::survey(args.size, args.so, args.nt, SURVEY_SHOTS, 8);
         let opts = SurveyOptions::default();
         let survey_kernel = kernel_label(KernelPath::Auto);
-        let (entry, trace) =
+        let (mut entry, trace) =
             BenchReport::measure_survey_entry(&survey, &opts, args.repeats, survey_kernel);
+        // The survey engine runs each shot under its own (non-temporal)
+        // execution, so the row sits at the streaming AI with reuse 1.
+        let cost = model_cost("acoustic", args.so);
+        entry.ai = cost.ai_streaming();
+        roof.push(
+            &format!("{}/{SURVEY_SCHEDULE} t1", entry.model),
+            entry.ai,
+            entry.gpts_per_s,
+            cost.flops,
+        );
+        entry.roof_pct = roof.roof_share(roof.entries.last().unwrap());
         println!(
             "  acoustic {SURVEY_SCHEDULE} ({SURVEY_SHOTS} shots) {survey_kernel}: {:.3} GPts/s \
              (barrier {:.1}%, {} trace events)",
@@ -365,10 +434,13 @@ fn main() {
             format!("{:.2}", entry.worst_imbalance),
             format!("{:.3}", entry.critical_path_ms),
             entry.dropped_events.to_string(),
+            format!("{:.2}", entry.ai),
+            format!("{:.1}", 100.0 * entry.roof_pct),
         ]);
         report.entries.push(entry);
     }
     table.print();
+    print!("{}", roof.render());
 
     match report.write(&args.out) {
         Ok(p) => println!("report → {}", p.display()),

@@ -36,6 +36,12 @@ pub struct BenchEntry {
     pub critical_path_ms: f64,
     /// Trace events dropped by ring overflow during the kept run.
     pub dropped_events: u64,
+    /// Operational intensity (FLOP/byte) under the schedule's streaming
+    /// traffic model (0 when the roofline pass was skipped — absent from
+    /// reports written before the roofline column existed).
+    pub ai: f64,
+    /// Share of the attainable roofline ceiling reached (0 when skipped).
+    pub roof_pct: f64,
 }
 
 impl BenchEntry {
@@ -53,6 +59,13 @@ pub struct BenchReport {
     /// Grid edge length the matrix ran at.
     pub size: usize,
     pub nt: usize,
+    /// Short git revision the report was measured at (empty when unknown —
+    /// reports written before metadata stamping carry no revision).
+    pub git_sha: String,
+    /// Resolved `KernelPath::Auto` backend on the measuring host.
+    pub kernel_backend: String,
+    /// `TEMPEST_THREADS` as set for the run (empty when unset).
+    pub tempest_threads: String,
     pub entries: Vec<BenchEntry>,
 }
 
@@ -106,6 +119,8 @@ impl BenchReport {
             worst_imbalance: analysis.worst_imbalance,
             critical_path_ms: analysis.critical_path_ns as f64 / 1e6,
             dropped_events: trace.dropped,
+            ai: 0.0,
+            roof_pct: 0.0,
         };
         (entry, trace, meta)
     }
@@ -150,6 +165,8 @@ impl BenchReport {
             worst_imbalance: analysis.worst_imbalance,
             critical_path_ms: analysis.critical_path_ns as f64 / 1e6,
             dropped_events: trace.dropped,
+            ai: 0.0,
+            roof_pct: 0.0,
         };
         (entry, trace)
     }
@@ -163,6 +180,17 @@ impl BenchReport {
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"size\": {},", self.size);
         let _ = writeln!(s, "  \"nt\": {},", self.nt);
+        let _ = writeln!(s, "  \"git_sha\": \"{}\",", obs::sanitize_label(&self.git_sha));
+        let _ = writeln!(
+            s,
+            "  \"kernel_backend\": \"{}\",",
+            obs::sanitize_label(&self.kernel_backend)
+        );
+        let _ = writeln!(
+            s,
+            "  \"tempest_threads\": \"{}\",",
+            obs::sanitize_label(&self.tempest_threads)
+        );
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
@@ -170,7 +198,8 @@ impl BenchReport {
                 "    {{\"model\": \"{}\", \"schedule\": \"{}\", \"kernel\": \"{}\", \
                  \"gpts_per_s\": {:.6}, \"elapsed_s\": {:.9}, \
                  \"barrier_wait_share\": {:.6}, \"worst_imbalance\": {:.4}, \
-                 \"critical_path_ms\": {:.6}, \"dropped_events\": {}}}",
+                 \"critical_path_ms\": {:.6}, \"dropped_events\": {}, \
+                 \"ai\": {:.6}, \"roof_pct\": {:.6}}}",
                 obs::sanitize_label(&e.model),
                 obs::sanitize_label(&e.schedule),
                 obs::sanitize_label(&e.kernel),
@@ -180,6 +209,8 @@ impl BenchReport {
                 fin(e.worst_imbalance),
                 fin(e.critical_path_ms),
                 e.dropped_events,
+                fin(e.ai),
+                fin(e.roof_pct),
             );
             s.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
         }
@@ -222,13 +253,27 @@ impl BenchReport {
                 worst_imbalance: num(e, "worst_imbalance")?,
                 critical_path_ms: num(e, "critical_path_ms")?,
                 dropped_events: uint(e, "dropped_events")?,
+                // Optional: absent from reports predating the roofline
+                // column, so a committed baseline stays readable.
+                ai: e.get("ai").and_then(Value::as_f64).unwrap_or(0.0),
+                roof_pct: e.get("roof_pct").and_then(Value::as_f64).unwrap_or(0.0),
             });
         }
+        let opt_text = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
         Ok(BenchReport {
             host: text(&v, "host")?,
             threads: uint(&v, "threads")? as usize,
             size: uint(&v, "size")? as usize,
             nt: uint(&v, "nt")? as usize,
+            // Optional metadata stamps (absent from pre-stamping reports).
+            git_sha: opt_text("git_sha"),
+            kernel_backend: opt_text("kernel_backend"),
+            tempest_threads: opt_text("tempest_threads"),
             entries,
         })
     }
@@ -291,6 +336,30 @@ pub fn check_regressions(
     Ok(out)
 }
 
+/// Best-effort short git revision for report stamping: `git rev-parse`
+/// in the current directory, then the `GITHUB_SHA` env (truncated), then
+/// `"unknown"` — a report should never fail to write because the source
+/// tree is not a checkout.
+pub fn git_sha() -> String {
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !sha.is_empty() {
+                return obs::sanitize_label(&sha);
+            }
+        }
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return obs::sanitize_label(&sha[..sha.len().min(12)]);
+        }
+    }
+    "unknown".to_string()
+}
+
 /// Best-effort host identifier for the report filename: `HOSTNAME` env,
 /// then the kernel hostname, then a fixed fallback.
 pub fn host_name() -> String {
@@ -323,6 +392,8 @@ mod tests {
             worst_imbalance: 1.2,
             critical_path_ms: 3.5,
             dropped_events: 0,
+            ai: 1.4,
+            roof_pct: 0.35,
         }
     }
 
@@ -332,6 +403,9 @@ mod tests {
             threads: 4,
             size: 64,
             nt: 8,
+            git_sha: "abc1234".into(),
+            kernel_backend: "portable".into(),
+            tempest_threads: "4".into(),
             entries,
         }
     }
@@ -341,6 +415,36 @@ mod tests {
         let r = report(vec![entry("acoustic-so4", 0.5), entry("tti-so4", 0.1)]);
         let parsed = BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parses_reports_without_metadata_or_roofline_fields() {
+        // A baseline committed before the metadata/roofline stamps existed
+        // must stay readable (the perf gate reads old files).
+        let old = r#"{
+  "host": "old-host",
+  "threads": 2,
+  "size": 32,
+  "nt": 4,
+  "entries": [
+    {"model": "acoustic-so4", "schedule": "spaceblocked_8x8", "kernel": "pencil",
+     "gpts_per_s": 0.5, "elapsed_s": 0.01, "barrier_wait_share": 0.0,
+     "worst_imbalance": 1.0, "critical_path_ms": 1.0, "dropped_events": 0}
+  ]
+}"#;
+        let parsed = BenchReport::from_json(old).unwrap();
+        assert_eq!(parsed.git_sha, "");
+        assert_eq!(parsed.kernel_backend, "");
+        assert_eq!(parsed.tempest_threads, "");
+        assert_eq!(parsed.entries[0].ai, 0.0);
+        assert_eq!(parsed.entries[0].roof_pct, 0.0);
+    }
+
+    #[test]
+    fn git_sha_is_label_safe() {
+        let s = git_sha();
+        assert!(!s.is_empty());
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
     }
 
     #[test]

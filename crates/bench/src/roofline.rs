@@ -32,6 +32,11 @@ impl MachineRoof {
 
 /// Measure peak single-precision FLOP/s with an unrolled multiply–add
 /// kernel over enough independent accumulators to fill the SIMD units.
+///
+/// Deliberately `v * m + a`, not `f32::mul_add`: the stencil kernels
+/// forgo FMA contraction for bitwise backend equality, and on targets
+/// without `+fma` `mul_add` falls back to a libm call that measures
+/// call overhead, not the machine.
 pub fn measure_peak_gflops(iters: u64) -> f64 {
     const LANES: usize = 32;
     let mut acc = [0f32; LANES];
@@ -43,14 +48,14 @@ pub fn measure_peak_gflops(iters: u64) -> f64 {
     let start = Instant::now();
     for _ in 0..iters {
         for v in acc.iter_mut() {
-            *v = v.mul_add(m, a);
+            *v = *v * m + a;
         }
     }
     let secs = start.elapsed().as_secs_f64();
     // Keep the result alive.
     let sum: f32 = acc.iter().sum();
     std::hint::black_box(sum);
-    // LANES lanes × 2 flops per fused multiply–add.
+    // LANES lanes × 2 flops per multiply–add.
     (iters as f64) * (2 * LANES) as f64 / secs / 1e9
 }
 

@@ -247,6 +247,126 @@ impl TraceAnalysis {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Roofline estimator
+// ---------------------------------------------------------------------------
+
+/// One measured kernel × schedule placed on the roofline.
+#[derive(Clone, Debug)]
+pub struct RooflineEntry {
+    /// Row label, e.g. `acoustic-so4/wavefront t8`.
+    pub label: String,
+    /// Operational intensity (FLOP/byte) under the schedule's traffic
+    /// model — for temporal blocking, streaming bytes divided by the
+    /// time-tile reuse factor.
+    pub ai: f64,
+    /// Achieved GFLOP/s: measured GPts/s × analytic FLOPs per point-update.
+    pub achieved_gflops: f64,
+}
+
+impl RooflineEntry {
+    /// Build from a throughput measurement and the kernel's per-point cost.
+    pub fn from_measurement(label: &str, ai: f64, gpts_per_s: f64, flops_per_point: f64) -> Self {
+        RooflineEntry {
+            label: label.to_string(),
+            ai,
+            achieved_gflops: gpts_per_s * flops_per_point,
+        }
+    }
+}
+
+/// The machine ceilings plus measured points: the paper's Fig. 11 as a
+/// table instead of a plot. Ceilings come from whatever characterisation
+/// the caller ran (`tempest-bench` ships in-process microbenchmarks); this
+/// type only combines numbers, so `tempest-obs` stays dependency-free.
+#[derive(Clone, Debug, Default)]
+pub struct Roofline {
+    /// Peak compute ceiling (GFLOP/s).
+    pub peak_gflops: f64,
+    /// Sustained memory bandwidth ceiling (GB/s).
+    pub bandwidth_gbs: f64,
+    /// Measured points, in insertion order.
+    pub entries: Vec<RooflineEntry>,
+}
+
+impl Roofline {
+    pub fn new(peak_gflops: f64, bandwidth_gbs: f64) -> Self {
+        Roofline {
+            peak_gflops,
+            bandwidth_gbs,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Attainable GFLOP/s at operational intensity `ai`:
+    /// `min(ai × bandwidth, peak)`.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth_gbs).min(self.peak_gflops)
+    }
+
+    /// The ridge point: the AI at which a kernel stops being memory-bound.
+    pub fn ridge_ai(&self) -> f64 {
+        if self.bandwidth_gbs > 0.0 {
+            self.peak_gflops / self.bandwidth_gbs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the attainable ceiling an entry reaches (0 when the
+    /// ceiling is degenerate).
+    pub fn roof_share(&self, e: &RooflineEntry) -> f64 {
+        let roof = self.attainable(e.ai);
+        if roof > 0.0 {
+            e.achieved_gflops / roof
+        } else {
+            0.0
+        }
+    }
+
+    /// Add one measured point (see [`RooflineEntry::from_measurement`]).
+    pub fn push(&mut self, label: &str, ai: f64, gpts_per_s: f64, flops_per_point: f64) {
+        self.entries.push(RooflineEntry::from_measurement(
+            label,
+            ai,
+            gpts_per_s,
+            flops_per_point,
+        ));
+    }
+
+    /// Rendered table: each entry's AI, its bound regime, attainable and
+    /// achieved GFLOP/s, and the share of the roof reached.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "── roofline (peak {:.1} GFLOP/s, bw {:.1} GB/s, ridge AI {:.2}) ──",
+            self.peak_gflops,
+            self.bandwidth_gbs,
+            self.ridge_ai()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>8} {:>8} {:>10} {:>10} {:>6}",
+            "kernel/schedule", "AI", "bound", "roof GF/s", "achv GF/s", "roof%"
+        );
+        for e in &self.entries {
+            let bound = if e.ai < self.ridge_ai() { "mem" } else { "comp" };
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>8.3} {:>8} {:>10.2} {:>10.2} {:>5.1}%",
+                e.label,
+                e.ai,
+                bound,
+                self.attainable(e.ai),
+                e.achieved_gflops,
+                100.0 * self.roof_share(e)
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +476,38 @@ mod tests {
             capacity: 1024,
         };
         assert_eq!(TraceAnalysis::from_trace(&t).critical_path_ns, 9_000);
+    }
+
+    #[test]
+    fn roofline_model_and_shares() {
+        let mut r = Roofline::new(100.0, 10.0);
+        assert_eq!(r.ridge_ai(), 10.0);
+        assert_eq!(r.attainable(1.0), 10.0); // memory-bound regime
+        assert_eq!(r.attainable(50.0), 100.0); // compute-bound regime
+        // 0.5 GPts/s at 10 flop/point = 5 GFLOP/s against a 10 GF/s roof.
+        r.push("acoustic/wavefront t8", 1.0, 0.5, 10.0);
+        assert!((r.entries[0].achieved_gflops - 5.0).abs() < 1e-12);
+        assert!((r.roof_share(&r.entries[0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_render_marks_bound_regimes() {
+        let mut r = Roofline::new(100.0, 10.0);
+        r.push("mem-bound", 1.0, 0.1, 10.0);
+        r.push("comp-bound", 50.0, 1.0, 60.0);
+        let s = r.render();
+        assert!(s.contains("ridge AI 10.00"));
+        assert!(s.contains("mem"));
+        assert!(s.contains("comp"));
+        assert!(s.contains("roof%"));
+    }
+
+    #[test]
+    fn roofline_degenerate_ceilings_are_safe() {
+        let r = Roofline::default();
+        assert_eq!(r.ridge_ai(), 0.0);
+        let e = RooflineEntry::from_measurement("x", 1.0, 1.0, 1.0);
+        assert_eq!(r.roof_share(&e), 0.0);
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Minimal JSON reader (no external dependencies).
+//! Minimal JSON reader and writer (no external dependencies).
 //!
-//! The workspace writes all of its reports with hand-rolled serialisation;
+//! The workspace writes most of its reports with hand-rolled serialisation;
 //! this module is the matching *reader* so tests can parse exported
 //! profile/trace documents back and `tempest-report` can fold them into the
 //! benchmark trajectory. It is a strict-enough recursive-descent parser for
 //! the JSON this repo emits (and ordinary JSON in general); it is not a
-//! validating standards suite.
+//! validating standards suite. [`Value::render`] is the inverse: documents
+//! built as a [`Value`] tree (the `/jobs` telemetry endpoint) serialise
+//! through it, and `render ∘ parse` is the identity on parsed trees.
 
 /// A parsed JSON value. Object keys keep insertion order.
 #[derive(Clone, Debug, PartialEq)]
@@ -102,6 +104,62 @@ impl Value {
             Value::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+
+    /// Serialise back to compact JSON text. Non-finite numbers are clamped
+    /// to 0 (JSON has no NaN/inf tokens), matching the crate's hand-rolled
+    /// writers, so rendered output always reparses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                let n = crate::fin(*n);
+                // `{}` on f64 prints the shortest decimal that reparses to
+                // the same value (integers print without a fraction).
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&crate::escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&crate::escape(k));
+                    out.push_str("\": ");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
     }
 }
 
@@ -336,6 +394,38 @@ mod tests {
         assert!(Value::parse("[1,]").is_err());
         assert!(Value::parse("{} x").is_err());
         assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let doc = Value::Obj(vec![
+            ("name".into(), Value::Str("a\"b\\c\nd".into())),
+            ("n".into(), Value::Num(3.0)),
+            ("frac".into(), Value::Num(0.25)),
+            ("neg".into(), Value::Num(-1.5e-3)),
+            ("flag".into(), Value::Bool(true)),
+            ("gap".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Str("µ".into()), Value::Obj(vec![])]),
+            ),
+        ]);
+        let text = doc.render();
+        assert_eq!(Value::parse(&text).unwrap(), doc);
+        // Display is the same serialisation.
+        assert_eq!(format!("{doc}"), text);
+        // Integers print without a fraction; key order is preserved.
+        assert!(text.contains("\"n\": 3,"));
+        assert!(text.starts_with("{\"name\""));
+    }
+
+    #[test]
+    fn render_clamps_nonfinite_numbers() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = Value::Arr(vec![Value::Num(bad)]);
+            assert_eq!(v.render(), "[0]");
+            assert!(Value::parse(&v.render()).is_ok());
+        }
     }
 
     #[test]

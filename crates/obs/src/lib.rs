@@ -23,6 +23,8 @@ use std::path::PathBuf;
 
 pub mod analysis;
 pub mod json;
+pub mod metrics;
+pub mod serve;
 pub mod trace;
 
 // ---------------------------------------------------------------------------
@@ -654,7 +656,7 @@ pub(crate) fn fin(x: f64) -> f64 {
 }
 
 /// Minimal JSON string escaping for labels/names.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,535 @@
+//! Live telemetry primitives: lock-free gauges, a tile-completion
+//! heartbeat, fixed-capacity time-series rings, and a job-snapshot
+//! provider registry.
+//!
+//! Where the sibling counters in the crate root are *post-mortem* (folded
+//! once by [`crate::snapshot`] after a run), everything here is meant to be
+//! read **while the run is in flight** — by the sampler thread and HTTP
+//! endpoint in [`crate::serve`] and by the survey stall watchdog. The same
+//! two gates apply:
+//!
+//! 1. **Compile-time** — without the `enabled` cargo feature every recording
+//!    entry point is an `#[inline(always)]` empty function.
+//! 2. **Run-time** — with the feature compiled in, recording is still off
+//!    unless `TEMPEST_TELEMETRY` is set (or [`set_telemetry`] was called).
+//!    Turning telemetry on also turns the profiling counters on
+//!    ([`crate::set_enabled`]): the sampler derives its rates from those
+//!    counters, so live telemetry without them would export zeros.
+//!
+//! Gauges are a single global array of relaxed `AtomicI64`s — unlike the
+//! sharded counters there is no per-thread state to fold, because gauges
+//! are *levels* (queue depth, running jobs, active workers), not
+//! accumulating event counts, and their writers are the low-frequency
+//! control plane (queue transitions, worker park/unpark), not the stencil
+//! hot loop.
+//!
+//! The heartbeat is the liveness signal the watchdog consumes: every
+//! executed parallel batch item and every shot start/completion bumps a
+//! monotonic count and stamps a timestamp. The *count* is deterministic for
+//! a given workload (it mirrors `ParTasks` + `ShotStarted` +
+//! `ShotCompleted` exactly — see `tests/telemetry.rs`); the *age* is the
+//! wall-clock side channel: a running job whose heartbeat goes silent is
+//! stalled, not slow.
+
+// ---------------------------------------------------------------------------
+// Gauge taxonomy
+// ---------------------------------------------------------------------------
+
+/// Instantaneous levels exported at `/metrics`. Semantics:
+///
+/// * `QueueDepth` — jobs waiting in the survey service's pending queue.
+/// * `RunningJobs` — jobs currently executing (the service runs one at a
+///   time today, so this is 0 or 1; the gauge does not hard-code that).
+/// * `CompletedJobs` / `FailedJobs` / `CancelledJobs` — jobs that reached
+///   each terminal state since service start (levels, not sharded
+///   counters: the queue recomputes them from its own state under its
+///   lock, so they are exact, not sampled).
+/// * `StalledJobs` — running jobs whose heartbeat is currently silent past
+///   the watchdog threshold. Falls back to 0 when the heartbeat resumes.
+/// * `PoolWorkers` — worker threads owned by the shared tile pool.
+/// * `ActiveWorkers` — pool workers currently inside a claimed job (not
+///   parked on the publication board).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Gauge {
+    QueueDepth = 0,
+    RunningJobs,
+    CompletedJobs,
+    FailedJobs,
+    CancelledJobs,
+    StalledJobs,
+    PoolWorkers,
+    ActiveWorkers,
+}
+
+impl Gauge {
+    pub const COUNT: usize = 8;
+    pub const ALL: [Gauge; Self::COUNT] = [
+        Gauge::QueueDepth,
+        Gauge::RunningJobs,
+        Gauge::CompletedJobs,
+        Gauge::FailedJobs,
+        Gauge::CancelledJobs,
+        Gauge::StalledJobs,
+        Gauge::PoolWorkers,
+        Gauge::ActiveWorkers,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::RunningJobs => "running_jobs",
+            Gauge::CompletedJobs => "completed_jobs",
+            Gauge::FailedJobs => "failed_jobs",
+            Gauge::CancelledJobs => "cancelled_jobs",
+            Gauge::StalledJobs => "stalled_jobs",
+            Gauge::PoolWorkers => "pool_workers",
+            Gauge::ActiveWorkers => "active_workers",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job snapshots (always compiled — serve/tests name this type)
+// ---------------------------------------------------------------------------
+
+/// One job's live state as exported at `/jobs`. Produced by the provider a
+/// service registers with [`set_jobs_provider`]; consumed by the HTTP
+/// endpoint and the example's poll loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSnapshot {
+    pub id: u64,
+    /// Job state name (`Queued`, `Running`, `Completed`, …).
+    pub state: String,
+    pub priority: i32,
+    pub shots_done: usize,
+    pub shots_total: usize,
+    /// Completed virtual timesteps (`shots_done × nt`) — the unit progress
+    /// and ETA are derived from.
+    pub vsteps_done: u64,
+    pub vsteps_total: u64,
+    /// Fraction of virtual steps completed, in `[0, 1]`.
+    pub progress: f64,
+    /// Estimated seconds to completion; `None` until the job has run long
+    /// enough to extrapolate (or once it is terminal).
+    pub eta_s: Option<f64>,
+    /// True while the watchdog considers this job's heartbeat silent.
+    pub stalled: bool,
+    /// How many distinct silence episodes the watchdog flagged.
+    pub stall_events: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-capacity time-series ring (always compiled)
+// ---------------------------------------------------------------------------
+
+/// A bounded `(t_ns, value)` ring: pushing past capacity overwrites the
+/// oldest sample, so a long-lived service holds the most recent window at a
+/// fixed memory cost. Single-writer by design (the sampler thread owns each
+/// ring behind the server's mutex); this is plain data, not a lock-free
+/// structure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    buf: Vec<(u64, f64)>,
+    cap: usize,
+    /// Next write position (wraps at `cap`).
+    head: usize,
+    len: usize,
+}
+
+impl Series {
+    /// `cap` is clamped to at least 1 so `push` always lands somewhere.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Series {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push((t_ns, value));
+        } else {
+            self.buf[self.head] = (t_ns, value);
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.buf[(self.head + self.cap - 1) % self.cap])
+        }
+    }
+
+    /// Samples oldest→newest.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let start = if self.len < self.cap { 0 } else { self.head };
+        (0..self.len).map(move |i| self.buf[(start + i) % self.cap])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording API — real implementation (feature = "enabled")
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Gauge, JobSnapshot};
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+    use std::sync::{Mutex, Once, OnceLock};
+    use std::time::{Duration, Instant};
+
+    static TELEMETRY: AtomicBool = AtomicBool::new(false);
+    static ENV_INIT: Once = Once::new();
+
+    static GAUGES: OnceLock<[AtomicI64; Gauge::COUNT]> = OnceLock::new();
+    static HEARTBEATS: AtomicU64 = AtomicU64::new(0);
+    /// Nanoseconds since [`epoch`] of the latest heartbeat; 0 = never.
+    static LAST_BEAT_NS: AtomicU64 = AtomicU64::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    type Provider = Box<dyn Fn() -> Vec<JobSnapshot> + Send + Sync>;
+    static PROVIDER: OnceLock<Mutex<Option<Provider>>> = OnceLock::new();
+
+    fn gauges() -> &'static [AtomicI64; Gauge::COUNT] {
+        GAUGES.get_or_init(|| std::array::from_fn(|_| AtomicI64::new(0)))
+    }
+
+    fn provider() -> &'static Mutex<Option<Provider>> {
+        PROVIDER.get_or_init(|| Mutex::new(None))
+    }
+
+    /// Process-stable time origin for heartbeat stamps. An `Instant` rather
+    /// than wall clock: ages must be immune to clock steps.
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn now_ns() -> u64 {
+        // +1 so a beat in the very first nanosecond is distinguishable from
+        // "never" (0).
+        epoch().elapsed().as_nanos() as u64 + 1
+    }
+
+    /// Is live telemetry on? First call resolves `TEMPEST_TELEMETRY` (any
+    /// value other than empty or `0` enables — including a `host:port`
+    /// bind address); after that it is one relaxed load. Enabling also
+    /// enables the profiling counters, which the sampler reads.
+    #[inline]
+    pub fn telemetry_enabled() -> bool {
+        ENV_INIT.call_once(|| {
+            let on = std::env::var("TEMPEST_TELEMETRY")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            if on {
+                TELEMETRY.store(true, Ordering::Relaxed);
+                crate::set_enabled(true);
+            }
+        });
+        TELEMETRY.load(Ordering::Relaxed)
+    }
+
+    /// Programmatic override of the `TEMPEST_TELEMETRY` gate. Turning
+    /// telemetry on also turns profiling counters on (the reverse is not
+    /// true: turning telemetry off leaves profiling as-is).
+    pub fn set_telemetry(on: bool) {
+        let _ = telemetry_enabled(); // settle env init so it cannot overwrite us
+        TELEMETRY.store(on, Ordering::Relaxed);
+        if on {
+            crate::set_enabled(true);
+        }
+    }
+
+    /// Add `delta` (may be negative) to gauge `g`.
+    #[inline]
+    pub fn gauge_add(g: Gauge, delta: i64) {
+        if !telemetry_enabled() {
+            return;
+        }
+        gauges()[g as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set gauge `g` to an absolute level.
+    #[inline]
+    pub fn gauge_set(g: Gauge, value: i64) {
+        if !telemetry_enabled() {
+            return;
+        }
+        gauges()[g as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Current level of gauge `g`.
+    #[inline]
+    pub fn gauge(g: Gauge) -> i64 {
+        gauges()[g as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record `n` units of forward progress (batch items, shots) and stamp
+    /// the liveness clock the watchdog reads.
+    #[inline]
+    pub fn heartbeat(n: u64) {
+        if !telemetry_enabled() {
+            return;
+        }
+        HEARTBEATS.fetch_add(n, Ordering::Relaxed);
+        LAST_BEAT_NS.store(now_ns(), Ordering::Relaxed);
+    }
+
+    /// Total heartbeat units since start/reset.
+    pub fn heartbeats() -> u64 {
+        HEARTBEATS.load(Ordering::Relaxed)
+    }
+
+    /// Time since the most recent heartbeat; `None` if none was ever
+    /// recorded (a watchdog must not flag a job that has not begun work).
+    pub fn heartbeat_age() -> Option<Duration> {
+        let last = LAST_BEAT_NS.load(Ordering::Relaxed);
+        if last == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(now_ns().saturating_sub(last)))
+        }
+    }
+
+    /// Zero every gauge and the heartbeat state (test isolation; mirrors
+    /// [`crate::reset`] for the counter shards).
+    pub fn reset_metrics() {
+        for g in gauges() {
+            g.store(0, Ordering::Relaxed);
+        }
+        HEARTBEATS.store(0, Ordering::Relaxed);
+        LAST_BEAT_NS.store(0, Ordering::Relaxed);
+    }
+
+    /// Register the closure `/jobs` snapshots come from. One provider at a
+    /// time — a new registration replaces the old (latest service wins).
+    pub fn set_jobs_provider<F>(f: F)
+    where
+        F: Fn() -> Vec<JobSnapshot> + Send + Sync + 'static,
+    {
+        *provider().lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+    }
+
+    /// Drop the registered provider (a stopping service deregisters so the
+    /// endpoint never polls freed queue state).
+    pub fn clear_jobs_provider() {
+        *provider().lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Current job snapshots; empty when no provider is registered.
+    pub fn jobs_snapshot() -> Vec<JobSnapshot> {
+        let guard = provider().lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().map(|f| f()).unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording API — no-op implementation (feature off)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{Gauge, JobSnapshot};
+    use std::time::Duration;
+
+    #[inline(always)]
+    pub fn telemetry_enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn set_telemetry(_on: bool) {}
+
+    #[inline(always)]
+    pub fn gauge_add(_g: Gauge, _delta: i64) {}
+
+    #[inline(always)]
+    pub fn gauge_set(_g: Gauge, _value: i64) {}
+
+    #[inline(always)]
+    pub fn gauge(_g: Gauge) -> i64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn heartbeat(_n: u64) {}
+
+    #[inline(always)]
+    pub fn heartbeats() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn heartbeat_age() -> Option<Duration> {
+        None
+    }
+
+    #[inline(always)]
+    pub fn reset_metrics() {}
+
+    #[inline(always)]
+    pub fn set_jobs_provider<F>(_f: F)
+    where
+        F: Fn() -> Vec<JobSnapshot> + Send + Sync + 'static,
+    {
+    }
+
+    #[inline(always)]
+    pub fn clear_jobs_provider() {}
+
+    #[inline(always)]
+    pub fn jobs_snapshot() -> Vec<JobSnapshot> {
+        Vec::new()
+    }
+}
+
+pub use imp::{
+    clear_jobs_provider, gauge, gauge_add, gauge_set, heartbeat, heartbeat_age, heartbeats,
+    jobs_snapshot, reset_metrics, set_jobs_provider, set_telemetry, telemetry_enabled,
+};
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_fills_then_wraps() {
+        let mut s = Series::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.latest(), None);
+        s.push(1, 10.0);
+        s.push(2, 20.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest(), Some((2, 20.0)));
+        s.push(3, 30.0);
+        s.push(4, 40.0); // overwrites (1, 10.0)
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.capacity(), 3);
+        assert_eq!(s.latest(), Some((4, 40.0)));
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(2, 20.0), (3, 30.0), (4, 40.0)]);
+    }
+
+    #[test]
+    fn series_zero_capacity_is_clamped() {
+        let mut s = Series::new(0);
+        assert_eq!(s.capacity(), 1);
+        s.push(1, 1.0);
+        s.push(2, 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest(), Some((2, 2.0)));
+    }
+
+    #[test]
+    fn gauge_names_are_unique() {
+        for (i, a) in Gauge::ALL.iter().enumerate() {
+            for b in &Gauge::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        assert_eq!(Gauge::ALL.len(), Gauge::COUNT);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        set_telemetry(true);
+        assert!(!telemetry_enabled());
+        gauge_add(Gauge::QueueDepth, 5);
+        heartbeat(3);
+        assert_eq!(gauge(Gauge::QueueDepth), 0);
+        assert_eq!(heartbeats(), 0);
+        assert_eq!(heartbeat_age(), None);
+        set_jobs_provider(Vec::new);
+        assert!(jobs_snapshot().is_empty());
+    }
+
+    // The enabled-build tests share process-global state; serialise them.
+    #[cfg(feature = "enabled")]
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_build_records_and_resets() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_telemetry(true);
+        reset_metrics();
+        gauge_add(Gauge::QueueDepth, 3);
+        gauge_add(Gauge::QueueDepth, -1);
+        gauge_set(Gauge::PoolWorkers, 7);
+        heartbeat(2);
+        heartbeat(1);
+        assert_eq!(gauge(Gauge::QueueDepth), 2);
+        assert_eq!(gauge(Gauge::PoolWorkers), 7);
+        assert_eq!(heartbeats(), 3);
+        let age = heartbeat_age().expect("beat recorded");
+        assert!(age < std::time::Duration::from_secs(5));
+        reset_metrics();
+        assert_eq!(gauge(Gauge::QueueDepth), 0);
+        assert_eq!(heartbeats(), 0);
+        assert_eq!(heartbeat_age(), None);
+        set_telemetry(false);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn runtime_gate_blocks_recording() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_telemetry(false);
+        reset_metrics();
+        gauge_add(Gauge::RunningJobs, 1);
+        heartbeat(5);
+        assert_eq!(gauge(Gauge::RunningJobs), 0);
+        assert_eq!(heartbeats(), 0);
+        assert_eq!(heartbeat_age(), None);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn jobs_provider_registration_and_replacement() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = JobSnapshot {
+            id: 9,
+            state: "Running".into(),
+            priority: 1,
+            shots_done: 2,
+            shots_total: 8,
+            vsteps_done: 32,
+            vsteps_total: 128,
+            progress: 0.25,
+            eta_s: Some(1.5),
+            stalled: false,
+            stall_events: 0,
+        };
+        let s2 = snap.clone();
+        set_jobs_provider(move || vec![s2.clone()]);
+        assert_eq!(jobs_snapshot(), vec![snap]);
+        set_jobs_provider(Vec::new);
+        assert!(jobs_snapshot().is_empty());
+        clear_jobs_provider();
+        assert!(jobs_snapshot().is_empty());
+    }
+}

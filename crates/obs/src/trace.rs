@@ -552,6 +552,18 @@ impl Trace {
     /// Write the Chrome trace to `<dir>/<name>__<schedule>.trace.json`
     /// with sanitized labels, creating directories as needed.
     pub fn write_chrome_json_in(&self, dir: &Path, meta: &RunMeta) -> std::io::Result<PathBuf> {
+        if self.dropped > 0 {
+            // Once per process, not per export: a sweep exporting dozens of
+            // truncated traces should flag the lossage without spamming.
+            static DROP_WARNING: std::sync::Once = std::sync::Once::new();
+            DROP_WARNING.call_once(|| {
+                eprintln!(
+                    "tempest-obs: trace ring overflowed ({} spans dropped; capacity {}) — \
+                     exported traces are lower bounds; raise TEMPEST_TRACE_CAP to keep more",
+                    self.dropped, self.capacity
+                );
+            });
+        }
         std::fs::create_dir_all(dir)?;
         let stem = if meta.schedule.is_empty() {
             sanitize_label(&meta.name)

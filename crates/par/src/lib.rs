@@ -240,6 +240,7 @@ impl Job {
             // still parked in `run_batch`, keeping `func` alive.
             unsafe { (*self.func)(i) };
             obs::add(obs::Counter::ParTasks, 1);
+            obs::metrics::heartbeat(1);
             if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
                 let mut fin = self.finished.lock().unwrap();
                 *fin = true;
@@ -320,7 +321,9 @@ fn worker_loop(id: usize, board: Arc<Board>) {
             // Caller counts as one participant; workers 0..cap-1 join it.
             if id + 1 < cap {
                 let _mark = DispatchMark::enter();
+                obs::metrics::gauge_add(obs::metrics::Gauge::ActiveWorkers, 1);
                 work.help();
+                obs::metrics::gauge_add(obs::metrics::Gauge::ActiveWorkers, -1);
             }
         }
     }
@@ -334,11 +337,15 @@ fn run_batch(n: usize, cap: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     let cap = budgeted(cap);
     let p = pool();
+    // Absolute re-stamp on every dispatch: the pool may predate telemetry
+    // being switched on, so the init-time stamp alone is not enough.
+    obs::metrics::gauge_set(obs::metrics::Gauge::PoolWorkers, p.workers as i64);
     if n == 1 || cap <= 1 || p.workers == 0 || nested_inline(cap) {
         for i in 0..n {
             f(i);
         }
         obs::add(obs::Counter::ParTasks, n as u64);
+        obs::metrics::heartbeat(n as u64);
         return;
     }
     let job = Arc::new(Job {
@@ -572,6 +579,7 @@ impl DataflowJob {
         // own `help` call inside `run_dataflow`, keeping `func` alive.
         unsafe { (*self.func)(i) };
         obs::add(obs::Counter::ParTasks, 1);
+        obs::metrics::heartbeat(1);
         let (s0, s1) = (self.succ_off[i] as usize, self.succ_off[i + 1] as usize);
         let mut pushed = 0u64;
         for &s in &self.succ[s0..s1] {
@@ -662,6 +670,7 @@ where
         return;
     }
     let p = pool();
+    obs::metrics::gauge_set(obs::metrics::Gauge::PoolWorkers, p.workers as i64);
     let pol = effective(policy, n);
     let cap = budgeted(cap_of(pol));
     if pol == Policy::Sequential || n == 1 || cap <= 1 || p.workers == 0 || nested_inline(cap) {
@@ -741,6 +750,7 @@ fn run_dataflow_seq(graph: &DepGraph, f: &dyn Fn(usize)) {
         "dataflow graph has a dependency cycle: only {ran} of {n} nodes reachable"
     );
     obs::add(obs::Counter::ParTasks, ran as u64);
+    obs::metrics::heartbeat(ran as u64);
     obs::add(obs::Counter::DataflowReady, ran as u64);
 }
 
@@ -776,6 +786,7 @@ where
         Policy::Sequential => {
             items.iter().for_each(&f);
             obs::add(obs::Counter::ParTasks, items.len() as u64);
+            obs::metrics::heartbeat(items.len() as u64);
         }
         p => run_batch(items.len(), cap_of(p), &|i| f(&items[i])),
     }
@@ -790,6 +801,7 @@ where
         Policy::Sequential => {
             (0..n).for_each(f);
             obs::add(obs::Counter::ParTasks, n as u64);
+            obs::metrics::heartbeat(n as u64);
         }
         p => run_batch(n, cap_of(p), &f),
     }
@@ -812,6 +824,7 @@ where
                 .enumerate()
                 .for_each(|(i, c)| f(i, c));
             obs::add(obs::Counter::ParTasks, n as u64);
+            obs::metrics::heartbeat(n as u64);
         }
         p => {
             let base = data.as_mut_ptr() as usize;
@@ -840,6 +853,7 @@ where
         Policy::Sequential => {
             let out: Vec<U> = items.iter().map(f).collect();
             obs::add(obs::Counter::ParTasks, out.len() as u64);
+            obs::metrics::heartbeat(out.len() as u64);
             out
         }
         p => {

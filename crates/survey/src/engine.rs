@@ -169,6 +169,12 @@ pub struct SurveyOptions {
     /// results (block decomposition is bitwise-invariant), but under a
     /// fused sparse path it may permute receiver-gather accumulation order.
     pub tune: bool,
+    /// Fault injection for watchdog validation: `Some((shot, ms))` sleeps
+    /// `ms` milliseconds after shot `shot` is started but before it makes
+    /// any progress — a silent stall the telemetry heartbeat cannot see.
+    /// The shot then solves normally, so the run still completes. `None`
+    /// (the default) injects nothing.
+    pub inject_hang: Option<(usize, u64)>,
 }
 
 impl Default for SurveyOptions {
@@ -179,6 +185,7 @@ impl Default for SurveyOptions {
             shot_threads: 1,
             batch_size: 0,
             tune: false,
+            inject_hang: None,
         }
     }
 }
@@ -280,13 +287,22 @@ where
                 return;
             }
             obs::add(obs::Counter::ShotStarted, 1);
+            obs::metrics::heartbeat(1);
             let _sp = obs::trace::span(obs::trace::SpanKind::Shot, obs::trace::SpanArgs::shot(i));
+            if let Some((hang_shot, ms)) = opts.inject_hang {
+                if i == hang_shot {
+                    // Deliberately no heartbeat across this gap: the sleep
+                    // is indistinguishable from a hung solve.
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
             let solved = catch_unwind(AssertUnwindSafe(|| {
                 with_thread_budget(opts.shot_threads, || solve_one(&assets, &shots[i], &exec))
             }));
             match solved {
                 Ok(Ok(gather)) => {
                     obs::add(obs::Counter::ShotCompleted, 1);
+                    obs::metrics::heartbeat(1);
                     completed.fetch_add(1, Ordering::Relaxed);
                     on_shot(ShotResult { index: i, gather });
                 }

@@ -21,7 +21,11 @@
 //!   ([`SurveyOptions::tune`], counted by `Counter::BatchAutotune`).
 //! * [`queue`] — an async job-queue front (`submit` / `poll` / `cancel`,
 //!   priorities, per-job thread caps, terminal states with error payloads),
-//!   so the engine behaves like a service, not a script.
+//!   so the engine behaves like a service, not a script. With live
+//!   telemetry on ([`tempest_obs::metrics`]), a started service keeps the
+//!   global gauges in sync, exports `/metrics`+`/jobs` over HTTP, derives
+//!   per-job progress/ETA from completed virtual steps, and runs a stall
+//!   watchdog over the tile-completion heartbeat ([`ServiceConfig`]).
 //! * [`rtm`] — checkpointed reverse-time migration end-to-end on the
 //!   existing `LevelRing::checkpoint`/`restore` + `Acoustic::run_range`
 //!   machinery: the forward pass stores sparse ring checkpoints instead of
@@ -41,6 +45,6 @@ pub use engine::{
     run_survey, run_survey_streaming, ShotError, ShotResult, ShotSpec, Survey, SurveyOptions,
     SurveyOutcome,
 };
-pub use queue::{JobId, JobSpec, JobState, JobStatus, SurveyService};
+pub use queue::{JobId, JobSpec, JobState, JobStatus, ServiceConfig, SurveyService};
 pub use rtm::{rtm_image, RtmOptions};
 pub use shard::{shard, CancelFlag};

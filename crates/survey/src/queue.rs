@@ -23,13 +23,32 @@
 //! calling thread — submissions and cancellations against a paused service
 //! are therefore fully deterministic, which is what the seeded stress suite
 //! leans on.
+//!
+//! ## Live telemetry (DESIGN.md §15)
+//!
+//! When live telemetry is on (`TEMPEST_TELEMETRY` or
+//! `obs::metrics::set_telemetry(true)`, `obs` feature compiled in), the
+//! queue keeps the global [`tempest_obs::metrics`] gauges in sync with its
+//! state on every transition, registers a `/jobs` snapshot provider, and —
+//! per [`ServiceConfig`] — runs a **stall watchdog**: a running job whose
+//! tile-completion heartbeat stays silent past
+//! [`ServiceConfig::stall_after`] is flagged [`JobStatus::stalled`] (and
+//! counted in `tempest_stalled_jobs`) until the heartbeat resumes or the
+//! job terminates. The watchdog never kills work — a stall flag is a
+//! diagnosis, not a verdict; each distinct silence episode increments
+//! [`JobStatus::stall_events`]. With telemetry off (or the `obs` feature
+//! compiled out) none of this spawns: no sampler, no endpoint, no
+//! watchdog thread.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use tempest_grid::Array2;
+use tempest_obs as obs;
+use tempest_obs::metrics::{Gauge, JobSnapshot};
 use tempest_par::with_thread_budget;
 
 use crate::engine::{panic_message, run_survey_streaming, Survey, SurveyOptions};
@@ -109,6 +128,41 @@ impl JobSpec {
     }
 }
 
+/// Configuration for a live service: watchdog thresholds and whether to
+/// expose the telemetry endpoint. All of it is inert unless the `obs`
+/// feature is compiled in *and* telemetry is on at runtime.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Flag a running job as stalled when its heartbeat has been silent
+    /// this long.
+    pub stall_after: Duration,
+    /// How often the watchdog re-checks the heartbeat.
+    pub watchdog_interval: Duration,
+    /// Run the stall watchdog thread (requires telemetry: the heartbeat it
+    /// reads is only recorded when telemetry is on).
+    pub watchdog: bool,
+    /// Start the HTTP telemetry endpoint
+    /// ([`tempest_obs::serve::TelemetryServer::start_from_env`]) and
+    /// register the `/jobs` snapshot provider.
+    pub telemetry: bool,
+    /// Explicit endpoint bind address (`host:port`; port 0 = ephemeral).
+    /// `None` takes the address from `TEMPEST_TELEMETRY`, falling back to
+    /// [`tempest_obs::serve::DEFAULT_ADDR`].
+    pub endpoint_addr: Option<String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            stall_after: Duration::from_secs(5),
+            watchdog_interval: Duration::from_millis(250),
+            watchdog: true,
+            telemetry: true,
+            endpoint_addr: None,
+        }
+    }
+}
+
 /// A point-in-time view of a job.
 #[derive(Debug, Clone)]
 pub struct JobStatus {
@@ -128,6 +182,20 @@ pub struct JobStatus {
     /// exactly-once invariant says this is `1` for every finished job —
     /// the stress suite asserts it.
     pub terminal_transitions: u32,
+    /// Fraction of the job's virtual timesteps completed, in `[0, 1]`
+    /// (shots are the completion unit; every shot covers `cfg.nt` steps).
+    pub progress: f64,
+    /// Estimated seconds to completion, extrapolated from elapsed time and
+    /// progress. `None` until a running job completes its first shot, and
+    /// for every non-running state.
+    pub eta_s: Option<f64>,
+    /// True while the stall watchdog considers this job's heartbeat
+    /// silent. Always false when the watchdog is not running.
+    pub stalled: bool,
+    /// Distinct silence episodes the watchdog flagged on this job. Kept
+    /// across the terminal transition — a job that stalled once and then
+    /// completed reports `1` forever.
+    pub stall_events: u32,
 }
 
 struct Job {
@@ -141,9 +209,40 @@ struct Job {
     shots_done: usize,
     error: Option<String>,
     terminal_transitions: u32,
+    /// When the job entered `Running` (ETA extrapolation origin).
+    started_at: Option<Instant>,
+    /// Watchdog flag: heartbeat currently silent past the threshold.
+    stalled: bool,
+    /// Distinct silence episodes flagged by the watchdog.
+    stall_events: u32,
 }
 
 impl Job {
+    fn progress(&self) -> f64 {
+        let total = self.survey.len();
+        if self.state == JobState::Completed || total == 0 {
+            // An empty survey completes having done everything it had.
+            f64::from(u8::from(self.state == JobState::Completed))
+        } else {
+            self.shots_done as f64 / total as f64
+        }
+    }
+
+    /// ETA by linear extrapolation: `elapsed × (1 − p) / p`. Only
+    /// meaningful mid-run, so `None` for every non-running state and for a
+    /// running job that has not completed a shot yet.
+    fn eta_s(&self) -> Option<f64> {
+        if self.state != JobState::Running {
+            return None;
+        }
+        let p = self.progress();
+        if p <= 0.0 {
+            return None;
+        }
+        let elapsed = self.started_at?.elapsed().as_secs_f64();
+        Some((elapsed * (1.0 - p) / p).max(0.0))
+    }
+
     fn status(&self, id: JobId) -> JobStatus {
         JobStatus {
             id,
@@ -153,6 +252,27 @@ impl Job {
             shots_done: self.shots_done,
             error: self.error.clone(),
             terminal_transitions: self.terminal_transitions,
+            progress: self.progress(),
+            eta_s: self.eta_s(),
+            stalled: self.stalled,
+            stall_events: self.stall_events,
+        }
+    }
+
+    fn snapshot(&self, id: JobId) -> JobSnapshot {
+        let nt = self.survey.cfg().nt as u64;
+        JobSnapshot {
+            id,
+            state: format!("{:?}", self.state),
+            priority: self.priority,
+            shots_done: self.shots_done,
+            shots_total: self.survey.len(),
+            vsteps_done: self.shots_done as u64 * nt,
+            vsteps_total: self.survey.len() as u64 * nt,
+            progress: self.progress(),
+            eta_s: self.eta_s(),
+            stalled: self.stalled,
+            stall_events: self.stall_events,
         }
     }
 
@@ -174,6 +294,9 @@ impl Job {
         }
         self.state = state;
         self.error = error;
+        // A terminal job is by definition not stalled; the episode count
+        // stays as the historical record.
+        self.stalled = false;
     }
 }
 
@@ -182,6 +305,36 @@ struct ServiceState {
     jobs: BTreeMap<JobId, Job>,
     pending: Vec<JobId>,
     shutdown: bool,
+}
+
+/// Recompute every queue-owned gauge from this service's state. Absolute
+/// levels (not deltas), so the gauges self-heal and always describe the
+/// most recently active service when several coexist (tests). A no-op when
+/// telemetry is off — [`obs::metrics::gauge_set`] is runtime-gated.
+fn refresh_gauges(st: &ServiceState) {
+    if !obs::metrics::telemetry_enabled() {
+        return;
+    }
+    let mut running = 0i64;
+    let (mut completed, mut failed, mut cancelled, mut stalled) = (0i64, 0i64, 0i64, 0i64);
+    for job in st.jobs.values() {
+        match job.state {
+            JobState::Running => running += 1,
+            JobState::Completed => completed += 1,
+            JobState::Failed => failed += 1,
+            JobState::Cancelled => cancelled += 1,
+            JobState::Queued => {}
+        }
+        if job.stalled {
+            stalled += 1;
+        }
+    }
+    obs::metrics::gauge_set(Gauge::QueueDepth, st.pending.len() as i64);
+    obs::metrics::gauge_set(Gauge::RunningJobs, running);
+    obs::metrics::gauge_set(Gauge::CompletedJobs, completed);
+    obs::metrics::gauge_set(Gauge::FailedJobs, failed);
+    obs::metrics::gauge_set(Gauge::CancelledJobs, cancelled);
+    obs::metrics::gauge_set(Gauge::StalledJobs, stalled);
 }
 
 struct Inner {
@@ -196,6 +349,13 @@ struct Inner {
 pub struct SurveyService {
     inner: Arc<Inner>,
     scheduler: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    /// Keeps the `/metrics`+`/jobs` endpoint alive for the service's
+    /// lifetime; dropping the service stops it.
+    telemetry: Option<obs::serve::TelemetryServer>,
+    /// Whether this service registered the global `/jobs` provider (and
+    /// must deregister it on drop).
+    registered_provider: bool,
 }
 
 impl SurveyService {
@@ -213,27 +373,84 @@ impl SurveyService {
     }
 
     /// A paused service: submissions queue up until [`drain`](Self::drain)
-    /// runs them synchronously. Deterministic by construction.
+    /// runs them synchronously. Deterministic by construction. No watchdog
+    /// or endpoint — the telemetry gauges still track its transitions when
+    /// telemetry is on.
     pub fn paused() -> Self {
         SurveyService {
             inner: Self::new_inner(),
             scheduler: None,
+            watchdog: None,
+            telemetry: None,
+            registered_provider: false,
         }
     }
 
-    /// A live service: a background scheduler thread picks jobs by
-    /// (priority desc, id asc) and runs them one at a time.
+    /// A live service with the default [`ServiceConfig`]: a background
+    /// scheduler thread picks jobs by (priority desc, id asc) and runs
+    /// them one at a time; with telemetry on, the watchdog and endpoint
+    /// come up too.
     pub fn start() -> Self {
+        Self::start_with(ServiceConfig::default())
+    }
+
+    /// A live service with explicit watchdog/telemetry configuration.
+    pub fn start_with(cfg: ServiceConfig) -> Self {
         let inner = Self::new_inner();
         let worker = Arc::clone(&inner);
         let scheduler = std::thread::Builder::new()
             .name("tempest-survey-scheduler".into())
             .spawn(move || scheduler_loop(worker))
             .expect("spawn survey scheduler");
+
+        // Everything below is live telemetry — none of it exists when the
+        // runtime gate is off (which is always the case without the `obs`
+        // feature), so a telemetry-off service is exactly the old one.
+        let telemetry_on = obs::metrics::telemetry_enabled();
+        let mut registered_provider = false;
+        let mut telemetry = None;
+        if telemetry_on && cfg.telemetry {
+            let weak = Arc::downgrade(&inner);
+            obs::metrics::set_jobs_provider(move || match weak.upgrade() {
+                Some(inner) => {
+                    let st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.jobs.iter().map(|(&id, j)| j.snapshot(id)).collect()
+                }
+                None => Vec::new(),
+            });
+            registered_provider = true;
+            telemetry = match &cfg.endpoint_addr {
+                Some(addr) => obs::serve::TelemetryServer::start(&obs::serve::ServeConfig {
+                    addr: addr.clone(),
+                    ..Default::default()
+                })
+                .map_err(|e| eprintln!("tempest-survey: telemetry bind failed on {addr}: {e}"))
+                .ok(),
+                None => obs::serve::TelemetryServer::start_from_env(),
+            };
+        }
+        let watchdog = (telemetry_on && cfg.watchdog).then(|| {
+            let w = Arc::clone(&inner);
+            let (stall_after, interval) = (cfg.stall_after, cfg.watchdog_interval);
+            std::thread::Builder::new()
+                .name("tempest-survey-watchdog".into())
+                .spawn(move || watchdog_loop(w, stall_after, interval))
+                .expect("spawn survey watchdog")
+        });
+
         SurveyService {
             inner,
             scheduler: Some(scheduler),
+            watchdog,
+            telemetry,
+            registered_provider,
         }
+    }
+
+    /// The bound address of this service's telemetry endpoint, if one is
+    /// running (`TEMPEST_TELEMETRY` set and the bind succeeded).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(|t| t.local_addr())
     }
 
     /// Submit a job; returns immediately with its handle.
@@ -255,9 +472,13 @@ impl SurveyService {
                 shots_done: 0,
                 error: None,
                 terminal_transitions: 0,
+                started_at: None,
+                stalled: false,
+                stall_events: 0,
             },
         );
         st.pending.push(id);
+        refresh_gauges(&st);
         drop(st);
         self.inner.work_cv.notify_one();
         id
@@ -286,6 +507,7 @@ impl SurveyService {
         if job.state == JobState::Queued {
             job.set_terminal(JobState::Cancelled, None);
             st.pending.retain(|&p| p != id);
+            refresh_gauges(&st);
             drop(st);
             self.inner.done_cv.notify_all();
         }
@@ -352,9 +574,18 @@ impl Drop for SurveyService {
             st.shutdown = true;
         }
         self.inner.work_cv.notify_all();
+        // The watchdog parks on done_cv; wake it so shutdown is prompt.
+        self.inner.done_cv.notify_all();
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        if self.registered_provider {
+            obs::metrics::clear_jobs_provider();
+        }
+        // `self.telemetry` drops here, stopping the endpoint threads.
     }
 }
 
@@ -400,18 +631,25 @@ fn run_job(inner: &Arc<Inner>, id: JobId) {
         }
         if job.cancel.is_cancelled() {
             job.set_terminal(JobState::Cancelled, None);
+            refresh_gauges(&st);
             drop(st);
             inner.done_cv.notify_all();
             return;
         }
         job.state = JobState::Running;
-        (
+        job.started_at = Some(Instant::now());
+        let picked = (
             Arc::clone(&job.survey),
             job.opts.clone(),
             job.threads,
             Arc::clone(&job.cancel),
-        )
+        );
+        refresh_gauges(&st);
+        picked
     };
+    // Seed the liveness clock at job admission: the watchdog must measure
+    // silence from "this job began", not from whatever ran before it.
+    obs::metrics::heartbeat(1);
 
     // Stream each gather into the job record as the shot lands, so pollers
     // see `shots_done` rise while the job runs.
@@ -440,8 +678,47 @@ fn run_job(inner: &Arc<Inner>, id: JobId) {
         Ok(Ok(out)) if out.cancelled => job.set_terminal(JobState::Cancelled, None),
         Ok(Ok(_)) => job.set_terminal(JobState::Completed, None),
     }
+    refresh_gauges(&st);
     drop(st);
     inner.done_cv.notify_all();
+}
+
+/// The stall watchdog: every `interval`, compare the running job's
+/// heartbeat age against `stall_after` and flip its `stalled` flag on the
+/// silence edges. Flagging is level-triggered per episode — a job stays
+/// flagged while silent and is counted once per episode in
+/// `stall_events`, however many watchdog ticks the silence spans.
+fn watchdog_loop(inner: Arc<Inner>, stall_after: Duration, interval: Duration) {
+    let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let age = obs::metrics::heartbeat_age();
+        let silent = matches!(age, Some(a) if a > stall_after);
+        let mut changed = false;
+        for job in st.jobs.values_mut() {
+            if job.state != JobState::Running {
+                continue;
+            }
+            if silent && !job.stalled {
+                job.stalled = true;
+                job.stall_events += 1;
+                changed = true;
+            } else if !silent && job.stalled {
+                job.stalled = false;
+                changed = true;
+            }
+        }
+        if changed {
+            refresh_gauges(&st);
+        }
+        let (guard, _) = inner
+            .done_cv
+            .wait_timeout(st, interval)
+            .unwrap_or_else(|e| e.into_inner());
+        st = guard;
+    }
 }
 
 #[cfg(test)]

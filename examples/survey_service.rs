@@ -4,14 +4,26 @@
 //! priority with live polling and cancellation.
 //!
 //! ```text
-//! cargo run --release --example survey_service
+//! cargo run --release --example survey_service --features obs
+//! # with the live telemetry endpoint (DESIGN.md §15):
+//! TEMPEST_TELEMETRY=1 cargo run --release --example survey_service --features obs
+//! curl http://127.0.0.1:9464/metrics
 //! ```
 //!
 //! Three surveys are submitted to a live [`SurveyService`]: a high-priority
 //! production batch, a low-priority background sweep, and a speculative job
 //! that is cancelled mid-flight. The example polls the queue like a client
-//! would, then prints the terminal state, shot progress, and gather energy
-//! of every job. With `--features obs` the shot counters are reported too.
+//! would — including the per-job progress/ETA gauges — then prints the
+//! terminal state, shot progress, and gather energy of every job.
+//!
+//! With `TEMPEST_TELEMETRY` set the service also exports `/metrics`
+//! (Prometheus text), `/jobs` (JSON) and `/healthz` over HTTP; the example
+//! scrapes its own endpoint and validates both documents. Set
+//! `TEMPEST_TELEMETRY=host:port` to choose the bind address, and
+//! `TEMPEST_TELEMETRY_HOLD=<seconds>` to keep the process (and endpoint)
+//! alive after the jobs drain so an external client can scrape it.
+//! Without `TEMPEST_TELEMETRY` the sampler, endpoint and watchdog are
+//! inert — the example asserts that.
 
 use std::sync::Arc;
 
@@ -19,6 +31,7 @@ use tempest::core::config::EquationKind;
 use tempest::core::SimConfig;
 use tempest::grid::{Domain, Model, Shape};
 use tempest::obs;
+use tempest::obs::metrics::Gauge;
 use tempest::par::Policy;
 use tempest::sparse::SparsePoints;
 use tempest::survey::{JobSpec, JobState, Survey, SurveyOptions, SurveyService};
@@ -38,8 +51,14 @@ fn build_survey(shots: usize, f0: f32) -> Arc<Survey> {
 
 fn main() {
     obs::set_enabled(true);
+    let telemetry = obs::metrics::telemetry_enabled();
 
     let svc = SurveyService::start();
+    match svc.telemetry_addr() {
+        Some(addr) => println!("telemetry endpoint: http://{addr}  (/metrics /jobs /healthz)"),
+        None if telemetry => println!("telemetry on, endpoint unavailable (bind failed?)"),
+        None => println!("telemetry off (set TEMPEST_TELEMETRY=1 for /metrics + /jobs + watchdog)"),
+    }
 
     // A production batch (high priority), a background sweep (low), and a
     // speculative job we will cancel. Priorities order the queue; the
@@ -67,19 +86,29 @@ fn main() {
     let accepted = svc.cancel(speculative);
     println!("cancel(speculative) accepted: {accepted}");
 
-    // Poll like a client: non-blocking status reads until all terminal.
+    // Poll like a client: non-blocking status reads until all terminal,
+    // reporting the live progress/ETA gauges along the way.
     let jobs = [production, background, speculative];
+    let mut ticks = 0u32;
     loop {
         let mut all_done = true;
         for id in jobs {
             let st = svc.poll(id).expect("job record");
             if !st.state.is_terminal() {
                 all_done = false;
+                if ticks.is_multiple_of(10) && st.state == JobState::Running {
+                    println!(
+                        "  job {id}: {:>5.1}% done, eta {}",
+                        100.0 * st.progress,
+                        st.eta_s.map_or("?".into(), |e| format!("{e:.2}s")),
+                    );
+                }
             }
         }
         if all_done {
             break;
         }
+        ticks += 1;
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
 
@@ -114,5 +143,42 @@ fn main() {
             p.counter(obs::Counter::ShotStarted),
             p.counter(obs::Counter::ShotCompleted),
         );
+    }
+
+    if let Some(addr) = svc.telemetry_addr() {
+        // Scrape our own endpoint and validate both documents end-to-end:
+        // the exposition-format checker for /metrics, a JSON parse for
+        // /jobs. This is exactly what the CI telemetry job relies on.
+        let (code, metrics) = obs::serve::http_get(addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(code, 200, "GET /metrics -> {code}");
+        obs::serve::validate_exposition(&metrics).expect("valid Prometheus exposition");
+        let jobs_doc = {
+            let (code, body) = obs::serve::http_get(addr, "/jobs").expect("scrape /jobs");
+            assert_eq!(code, 200, "GET /jobs -> {code}");
+            obs::json::Value::parse(&body).expect("valid /jobs JSON")
+        };
+        let njobs = jobs_doc.get("jobs").and_then(|v| v.as_arr()).map_or(0, |a| a.len());
+        println!(
+            "self-scrape ok: /metrics {} lines (valid exposition), /jobs {} jobs, \
+             heartbeats {}, completed gauge {}",
+            metrics.lines().count(),
+            njobs,
+            obs::metrics::heartbeats(),
+            obs::metrics::gauge(Gauge::CompletedJobs),
+        );
+
+        if let Ok(hold) = std::env::var("TEMPEST_TELEMETRY_HOLD") {
+            let secs: u64 = hold.parse().unwrap_or(30);
+            println!("holding endpoint open for {secs}s (TEMPEST_TELEMETRY_HOLD) …");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+    } else {
+        // Telemetry off: the sampler, endpoint and watchdog must be inert —
+        // no heartbeats recorded, every gauge at zero.
+        assert_eq!(obs::metrics::heartbeats(), 0, "heartbeats without telemetry");
+        for g in Gauge::ALL {
+            assert_eq!(obs::metrics::gauge(g), 0, "gauge {} without telemetry", g.name());
+        }
+        println!("telemetry off: no heartbeats, all gauges zero (sampler/endpoint/watchdog inert)");
     }
 }
