@@ -239,6 +239,7 @@ fn bench_dataflow_vs_diagonal(cfg: Config) {
                 dropped_events: 0,
                 ai: 0.0,
                 roof_pct: 0.0,
+                reuse_pct: 0.0,
             });
             row.push((mode, sample.median, share));
         }
@@ -356,6 +357,7 @@ fn bench_diamond_vs_dataflow(cfg: Config) {
                 dropped_events: 0,
                 ai: 0.0,
                 roof_pct: 0.0,
+                reuse_pct: 0.0,
             });
             row.push((mode, sample.median, share));
         }

@@ -58,6 +58,7 @@ fn entry(shape: &str, so: usize, backend: Backend, elems: u64, s: &Sample) -> Be
         dropped_events: 0,
         ai: 0.0,
         roof_pct: 0.0,
+        reuse_pct: 0.0,
     }
 }
 

@@ -133,6 +133,9 @@ fn parse_args() -> ReportArgs {
                     println!("{label:20} {}", exec.schedule_label());
                 }
                 println!("{SURVEY_SCHEDULE:20} multi-shot survey engine (shot-level sharding)");
+                println!(
+                    "{INCREMENTAL_SCHEDULE:20} nudged-source warm rerun through the tile cache"
+                );
                 std::process::exit(0);
             }
             "--baseline" => {
@@ -153,7 +156,7 @@ fn parse_args() -> ReportArgs {
                 eprintln!(
                     "options: --size N --nt N --so N --fast \
                      --model acoustic,tti,elastic \
-                     --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow,diamond \
+                     --schedules spaceblocked,wavefront,wavefront-diag,wavefront-dataflow,diamond,survey,incremental \
                      --list-schedules \
                      --kernel auto|scalar|portable|avx2|both --list-kernels \
                      --repeats N --out DIR --trace \
@@ -229,6 +232,11 @@ fn list_kernels() {
 /// run through `tempest-survey`, reported as one extra matrix row.
 const SURVEY_SCHEDULE: &str = "survey";
 
+/// The incremental pseudo-schedule: a cold acoustic solve followed by a
+/// nudged-source warm rerun through the tile cache (DESIGN.md §16),
+/// reported as one extra matrix row whose throughput is the warm rerun.
+const INCREMENTAL_SCHEDULE: &str = "incremental";
+
 /// The measured schedules: tuned-shape defaults rather than a tuning sweep —
 /// the gate wants stable, comparable configurations, not the fastest ones.
 fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
@@ -243,10 +251,13 @@ fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
         None => all,
         Some(names) => {
             for n in names {
-                if n != SURVEY_SCHEDULE && !all.iter().any(|(label, _)| label == n) {
+                if n != SURVEY_SCHEDULE
+                    && n != INCREMENTAL_SCHEDULE
+                    && !all.iter().any(|(label, _)| label == n)
+                {
                     eprintln!(
-                        "unknown schedule {n:?} (want one of {:?} or {SURVEY_SCHEDULE:?}; \
-                         see --list-schedules)",
+                        "unknown schedule {n:?} (want one of {:?}, {SURVEY_SCHEDULE:?} or \
+                         {INCREMENTAL_SCHEDULE:?}; see --list-schedules)",
                         all.iter().map(|(l, _)| *l).collect::<Vec<_>>()
                     );
                     std::process::exit(2);
@@ -262,6 +273,12 @@ fn schedules(filter: Option<&[String]>) -> Vec<(&'static str, Execution)> {
 /// Whether the `--schedules` filter keeps the survey row (kept by default).
 fn wants_survey(filter: Option<&[String]>) -> bool {
     filter.map(|names| names.iter().any(|n| n == SURVEY_SCHEDULE)).unwrap_or(true)
+}
+
+/// Whether the `--schedules` filter keeps the incremental row (kept by
+/// default).
+fn wants_incremental(filter: Option<&[String]>) -> bool {
+    filter.map(|names| names.iter().any(|n| n == INCREMENTAL_SCHEDULE)).unwrap_or(true)
 }
 
 /// Analytic per-point cost of a model at space order `so` — the roofline's
@@ -327,7 +344,7 @@ fn main() {
         "tempest-report — throughput and load-balance matrix",
         &[
             "model", "schedule", "kernel", "GPts/s", "barrier%", "imbalance", "critpath ms",
-            "drops", "AI", "roof%",
+            "drops", "AI", "roof%", "reuse%",
         ],
     );
     let mut report = BenchReport {
@@ -390,6 +407,7 @@ fn main() {
                     entry.dropped_events.to_string(),
                     format!("{:.2}", entry.ai),
                     format!("{:.1}", 100.0 * entry.roof_pct),
+                    format!("{:.1}", entry.reuse_pct),
                 ]);
                 report.entries.push(entry);
             }
@@ -436,6 +454,53 @@ fn main() {
             entry.dropped_events.to_string(),
             format!("{:.2}", entry.ai),
             format!("{:.1}", 100.0 * entry.roof_pct),
+            format!("{:.1}", entry.reuse_pct),
+        ]);
+        report.entries.push(entry);
+    }
+
+    // The incremental row: a cold solve populates the tile cache, then the
+    // same problem with its source nudged sub-cell reruns incrementally
+    // (DESIGN.md §16). SpaceBlocked gives the finest-grained tile plan
+    // (tile_t=1, 8×8 blocks), so reuse reflects the dirty cone, not tile
+    // granularity. Like the survey row, it never trips an old baseline —
+    // the pseudo-schedule key is absent from reports that predate it.
+    if wants_incremental(args.schedules.as_deref()) {
+        let exec = sweep::with_kernel(Execution::baseline(), KernelPath::Auto);
+        let inc_kernel = kernel_label(KernelPath::Auto);
+        let (mut entry, cold_gpts) = BenchReport::measure_incremental_entry(
+            args.size,
+            args.so,
+            args.nt,
+            &exec,
+            inc_kernel,
+        );
+        let cost = model_cost("acoustic", args.so);
+        entry.ai = cost.ai_streaming();
+        roof.push(
+            &format!("{}/{INCREMENTAL_SCHEDULE} t1", entry.model),
+            entry.ai,
+            entry.gpts_per_s,
+            cost.flops,
+        );
+        entry.roof_pct = roof.roof_share(roof.entries.last().unwrap());
+        println!(
+            "  acoustic {INCREMENTAL_SCHEDULE} {inc_kernel}: cold {:.3} → warm {:.3} GPts/s \
+             ({:.1}% tiles reused)",
+            cold_gpts, entry.gpts_per_s, entry.reuse_pct,
+        );
+        table.row(&[
+            entry.model.clone(),
+            entry.schedule.clone(),
+            entry.kernel.clone(),
+            f3(entry.gpts_per_s),
+            format!("{:.1}", 100.0 * entry.barrier_wait_share),
+            format!("{:.2}", entry.worst_imbalance),
+            format!("{:.3}", entry.critical_path_ms),
+            entry.dropped_events.to_string(),
+            format!("{:.2}", entry.ai),
+            format!("{:.1}", 100.0 * entry.roof_pct),
+            format!("{:.1}", entry.reuse_pct),
         ]);
         report.entries.push(entry);
     }

@@ -42,6 +42,10 @@ pub struct BenchEntry {
     pub ai: f64,
     /// Share of the attainable roofline ceiling reached (0 when skipped).
     pub roof_pct: f64,
+    /// Percentage of tile nodes restored from the incremental cache instead
+    /// of recomputed (DESIGN.md §16). Only the `incremental` pseudo-row
+    /// populates this; 0 everywhere else and in pre-cache reports.
+    pub reuse_pct: f64,
 }
 
 impl BenchEntry {
@@ -121,8 +125,58 @@ impl BenchReport {
             dropped_events: trace.dropped,
             ai: 0.0,
             roof_pct: 0.0,
+            reuse_pct: 0.0,
         };
         (entry, trace, meta)
+    }
+
+    /// Measure the incremental-recomputation path (DESIGN.md §16) as one
+    /// pseudo-row: a cold acoustic solve populates a fresh
+    /// [`tempest_tiling::TileCache`], then the identical problem with its
+    /// single source nudged sub-cell reruns through
+    /// [`tempest_core::Acoustic::run_incremental`]. The row's throughput is
+    /// the *warm rerun* — the interactive-rework latency the cache exists to
+    /// cut — and `reuse_pct` records how much of the tile graph it restored
+    /// instead of recomputing. Returns the entry plus the cold-run GPts/s
+    /// for context. The schedule label is the fixed pseudo-name
+    /// `incremental`, so (like the `survey` row) it never collides with a
+    /// baseline entry measured before the row existed.
+    pub fn measure_incremental_entry(
+        size: usize,
+        so: usize,
+        nt: usize,
+        exec: &Execution,
+        kernel_label: &str,
+    ) -> (BenchEntry, f64) {
+        use tempest_grid::{Domain, Shape};
+        use tempest_sparse::SparsePoints;
+
+        let domain = Domain::uniform(Shape::cube(size), 10.0);
+        // Generously sized private cache: the row measures reuse, not
+        // eviction pressure (TEMPEST_CACHE_MB stays in charge elsewhere).
+        let cache = tempest_tiling::TileCache::with_capacity_mb(256);
+        let run = |frac: f32| {
+            let src = SparsePoints::single_center(&domain, frac);
+            let mut solver = crate::setup::acoustic_with_sources(size, so, nt, src);
+            solver.run_incremental(exec, &cache, 0)
+        };
+        let cold = run(0.37);
+        let warm = run(0.63);
+        let entry = BenchEntry {
+            model: format!("acoustic-so{so}"),
+            schedule: "incremental".to_string(),
+            kernel: kernel_label.to_string(),
+            gpts_per_s: warm.stats.gpoints_per_s,
+            elapsed_s: warm.stats.elapsed.as_secs_f64(),
+            barrier_wait_share: 0.0,
+            worst_imbalance: 1.0,
+            critical_path_ms: 0.0,
+            dropped_events: 0,
+            ai: 0.0,
+            roof_pct: 0.0,
+            reuse_pct: 100.0 * warm.reuse_rate(),
+        };
+        (entry, cold.stats.gpoints_per_s)
     }
 
     /// Measure a whole multi-shot survey (shot-level sharding over the
@@ -167,6 +221,7 @@ impl BenchReport {
             dropped_events: trace.dropped,
             ai: 0.0,
             roof_pct: 0.0,
+            reuse_pct: 0.0,
         };
         (entry, trace)
     }
@@ -199,7 +254,7 @@ impl BenchReport {
                  \"gpts_per_s\": {:.6}, \"elapsed_s\": {:.9}, \
                  \"barrier_wait_share\": {:.6}, \"worst_imbalance\": {:.4}, \
                  \"critical_path_ms\": {:.6}, \"dropped_events\": {}, \
-                 \"ai\": {:.6}, \"roof_pct\": {:.6}}}",
+                 \"ai\": {:.6}, \"roof_pct\": {:.6}, \"reuse_pct\": {:.6}}}",
                 obs::sanitize_label(&e.model),
                 obs::sanitize_label(&e.schedule),
                 obs::sanitize_label(&e.kernel),
@@ -211,6 +266,7 @@ impl BenchReport {
                 e.dropped_events,
                 fin(e.ai),
                 fin(e.roof_pct),
+                fin(e.reuse_pct),
             );
             s.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
         }
@@ -257,6 +313,7 @@ impl BenchReport {
                 // column, so a committed baseline stays readable.
                 ai: e.get("ai").and_then(Value::as_f64).unwrap_or(0.0),
                 roof_pct: e.get("roof_pct").and_then(Value::as_f64).unwrap_or(0.0),
+                reuse_pct: e.get("reuse_pct").and_then(Value::as_f64).unwrap_or(0.0),
             });
         }
         let opt_text = |k: &str| {
@@ -394,6 +451,7 @@ mod tests {
             dropped_events: 0,
             ai: 1.4,
             roof_pct: 0.35,
+            reuse_pct: 0.0,
         }
     }
 
@@ -438,6 +496,7 @@ mod tests {
         assert_eq!(parsed.tempest_threads, "");
         assert_eq!(parsed.entries[0].ai, 0.0);
         assert_eq!(parsed.entries[0].roof_pct, 0.0);
+        assert_eq!(parsed.entries[0].reuse_pct, 0.0);
     }
 
     #[test]
@@ -517,6 +576,26 @@ mod tests {
         assert_eq!(e.key(), "acoustic-so4/survey_2shot/pencil");
         assert!(e.gpts_per_s > 0.0);
         assert!(e.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn measure_incremental_entry_reports_reuse() {
+        // SpaceBlocked → a tile_t=1 plan of 8×8 blocks, fine-grained enough
+        // that a sub-cell source nudge leaves tiles outside its cone clean
+        // even on this small grid.
+        let exec = Execution::baseline();
+        let (e, cold_gpts) = BenchReport::measure_incremental_entry(32, 4, 4, &exec, "pencil");
+        assert_eq!(e.model, "acoustic-so4");
+        assert_eq!(e.schedule, "incremental");
+        assert_eq!(e.key(), "acoustic-so4/incremental/pencil");
+        assert!(e.gpts_per_s > 0.0);
+        assert!(cold_gpts > 0.0);
+        // A sub-cell source nudge must leave most of the tile graph clean.
+        assert!(
+            e.reuse_pct > 0.0 && e.reuse_pct < 100.0,
+            "unexpected reuse: {}",
+            e.reuse_pct
+        );
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! receiver work is either skipped (classic path, applied between timesteps)
 //! or fused per pencil (Listings 4–5).
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::SimConfig;
@@ -26,7 +29,11 @@ use tempest_stencil::kernels::{laplacian_at, laplacian_at_r, AxisWeights};
 use tempest_stencil::metrics::acoustic_cost;
 use tempest_stencil::simd::LANE;
 use tempest_stencil::Backend;
-use tempest_tiling::{diamond, spaceblock, wavefront};
+use tempest_tiling::incremental::{
+    dirty_cone, execute_incremental, DirtyRect, SlabPayload, SourceSig, TileCache, TilePayload,
+    TilePlan,
+};
+use tempest_tiling::{diamond, spaceblock, wavefront, Slab};
 
 /// The isotropic acoustic propagator.
 pub struct Acoustic {
@@ -625,6 +632,359 @@ impl Acoustic {
         obs::add(obs::Counter::SourceInjections, injections);
         obs::add(obs::Counter::ReceiverGathers, gathers);
         sw.stop();
+    }
+
+    // -- incremental recomputation ------------------------------------------
+
+    /// Per-source change signatures: a digest of everything that shapes the
+    /// source's injections (position, interpolation stencil, wavelet column)
+    /// plus the xy bounding box of its footprint, in source-index order.
+    fn source_sigs(&self) -> Vec<SourceSig> {
+        let coords = self.src.points.coords();
+        (0..self.src.points.len())
+            .map(|s| {
+                let mut h = DefaultHasher::new();
+                for &c in &coords[s] {
+                    h.write_u32(c.to_bits());
+                }
+                let (mut x0, mut x1, mut y0, mut y1) = (usize::MAX, 0usize, usize::MAX, 0usize);
+                for (c, w) in self.src.stencils[s].nonzero() {
+                    h.write_usize(c[0]);
+                    h.write_usize(c[1]);
+                    h.write_usize(c[2]);
+                    h.write_u32(w.to_bits());
+                    x0 = x0.min(c[0]);
+                    x1 = x1.max(c[0] + 1);
+                    y0 = y0.min(c[1]);
+                    y1 = y1.max(c[1] + 1);
+                }
+                for t in 0..self.cfg.nt {
+                    h.write_u32(self.src.wavelets.get(t, s).to_bits());
+                }
+                if x0 == usize::MAX {
+                    (x0, x1, y0, y1) = (0, 0, 0, 0);
+                }
+                SourceSig {
+                    digest: h.finish(),
+                    rect: DirtyRect { x0, x1, y0, y1 },
+                }
+            })
+            .collect()
+    }
+
+    /// Digest of the receiver layout (positions + interpolation stencils).
+    /// Tracked separately from the session key: receivers are read-only
+    /// gathers, so a changed receiver set dirties zero stencil tiles —
+    /// restored tiles replay their gathers against the *current* bundle.
+    fn receiver_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        if let Some(rec) = self.rec.as_ref() {
+            h.write_u8(1);
+            for c in rec.points.coords() {
+                for &v in c {
+                    h.write_u32(v.to_bits());
+                }
+            }
+            for st in &rec.stencils {
+                for (c, w) in st.nonzero() {
+                    h.write_usize(c[0]);
+                    h.write_usize(c[1]);
+                    h.write_usize(c[2]);
+                    h.write_u32(w.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Session key: everything that (besides the sparse layout tracked by
+    /// the per-run delta) determines the wavefield bit-for-bit — the
+    /// coefficient volumes (model + damping + dt²), FD weights, schedule
+    /// geometry and sparse path, plus the caller's shot identity. The kernel
+    /// backend is deliberately *excluded*: every backend is bitwise-identical
+    /// (PR 8's oracle), so cached tiles stay valid across a backend switch.
+    fn session_key(&self, plan_geometry: u64, sparse: SparseMode, shot_key: u64) -> u64 {
+        let mut h = DefaultHasher::new();
+        let shape = self.shape();
+        h.write_usize(shape.nx);
+        h.write_usize(shape.ny);
+        h.write_usize(shape.nz);
+        h.write_usize(self.cfg.space_order);
+        h.write_usize(self.cfg.nt);
+        h.write_u32(self.cfg.dt.to_bits());
+        h.write_u32(self.cfg.f0.to_bits());
+        for arr in [&self.c1, &self.c2, &self.c3] {
+            for &v in arr.as_slice() {
+                h.write_u32(v.to_bits());
+            }
+        }
+        for ws in [&self.wx, &self.wy, &self.wz] {
+            for &v in ws.iter() {
+                h.write_u32(v.to_bits());
+            }
+        }
+        h.write_u32(self.center.to_bits());
+        h.write_usize(self.radius);
+        h.write_u8(sparse as u8);
+        h.write_u64(plan_geometry);
+        h.write_u64(shot_key);
+        h.finish()
+    }
+
+    /// Per-node content masks: for each plan node, a digest (in source-index
+    /// order) of the sources whose footprint intersects the node's slabs.
+    /// Folded into the cache key so a stale payload can never satisfy a
+    /// lookup after its local sources changed.
+    fn node_masks(plan: &TilePlan, sigs: &[SourceSig]) -> Vec<u64> {
+        plan.slabs
+            .iter()
+            .map(|slabs| {
+                let mut h = DefaultHasher::new();
+                for (i, sig) in sigs.iter().enumerate() {
+                    if slabs.iter().any(|s| sig.rect.overlaps(&s.range)) {
+                        h.write_usize(i);
+                        h.write_u64(sig.digest);
+                    }
+                }
+                h.finish()
+            })
+            .collect()
+    }
+
+    /// Snapshot the output a tile node just wrote: for each slab, the
+    /// `(x, y)` pencils of ring level `vt + 2` over the slab range.
+    ///
+    /// SAFETY: called from the node's own dataflow task after its step
+    /// calls, before its successors are released — it reads exactly the
+    /// cells this node wrote, which no other in-flight tile may touch.
+    fn capture_tile(&self, slabs: &[Slab]) -> TilePayload {
+        let payload = slabs
+            .iter()
+            .map(|slab| {
+                let r = slab.range;
+                let nz = r.z1 - r.z0;
+                let lvl = unsafe { self.ring.level(slab.vt + 2) };
+                let mut data = Vec::with_capacity(r.len());
+                for x in r.x0..r.x1 {
+                    for y in r.y0..r.y1 {
+                        let base = self.ring.idx(x, y, r.z0);
+                        data.extend_from_slice(&lvl[base..base + nz]);
+                    }
+                }
+                SlabPayload { slab: *slab, data }
+            })
+            .collect();
+        TilePayload { slabs: payload }
+    }
+
+    /// Restore a cached tile output in place of recomputing it: write the
+    /// payload pencils back to the ring (bit-for-bit what the step calls
+    /// would have produced), then replay the node's receiver gathers against
+    /// the current receiver bundle in the exact compute order (slabs in
+    /// ascending `vt`, blocks in `split_xy` order, x then y), reading the
+    /// gathered values from the payload. Counts `ReceiverGathers` like the
+    /// fused path; stencil/injection counters stay untouched — no such work
+    /// happens.
+    fn restore_tile(
+        &self,
+        payload: &TilePayload,
+        block_x: usize,
+        block_y: usize,
+        mode: SparseMode,
+    ) {
+        for sp in &payload.slabs {
+            let r = sp.slab.range;
+            let nz = r.z1 - r.z0;
+            let mut off = 0;
+            for x in r.x0..r.x1 {
+                for y in r.y0..r.y1 {
+                    // SAFETY: this node's task owns these cells at this
+                    // level, exactly as the step calls it replaces would.
+                    let un = unsafe { self.ring.pencil_mut(sp.slab.vt + 2, x, y) };
+                    un[r.z0..r.z1].copy_from_slice(&sp.data[off..off + nz]);
+                    off += nz;
+                }
+            }
+        }
+        let (Some(rec), Some(trace)) = (self.rec.as_ref(), self.trace.as_ref()) else {
+            return;
+        };
+        let mut gathers = 0u64;
+        for sp in &payload.slabs {
+            let k = sp.slab.vt;
+            let r = sp.slab.range;
+            for b in r.split_xy(block_x, block_y) {
+                for x in b.x0..b.x1 {
+                    for y in b.y0..b.y1 {
+                        match mode {
+                            SparseMode::Fused => {
+                                let rm = rec.pre.rm_pencil(x, y);
+                                let rid = rec.pre.rid_pencil(x, y);
+                                for z in b.z0..b.z1 {
+                                    if rm[z] != 0 {
+                                        let v = sp.pencil(x, y)[z - r.z0];
+                                        let contribs = rec.pre.contributions(rid[z] as usize);
+                                        gathers += contribs.len() as u64;
+                                        for &(rr, w) in contribs {
+                                            trace.add(k, rr as usize, w * v);
+                                        }
+                                    }
+                                }
+                            }
+                            SparseMode::FusedCompressed => {
+                                for (z, id) in rec.comp.entries(x, y) {
+                                    if z >= b.z0 && z < b.z1 {
+                                        let v = sp.pencil(x, y)[z - r.z0];
+                                        let contribs = rec.pre.contributions(id);
+                                        gathers += contribs.len() as u64;
+                                        for &(rr, w) in contribs {
+                                            trace.add(k, rr as usize, w * v);
+                                        }
+                                    }
+                                }
+                            }
+                            SparseMode::Classic => unreachable!("mapped away by run_incremental"),
+                        }
+                    }
+                }
+            }
+        }
+        obs::add(obs::Counter::ReceiverGathers, gathers);
+    }
+
+    /// Run the simulation incrementally against `cache`: diff the sparse
+    /// layout against the cache's last completed run of the same session,
+    /// mark the delta's causal cone over the tile graph, restore every clean
+    /// cached tile bit-for-bit and recompute only the rest. The result —
+    /// wavefield *and* (per-thread-cap) traces — is bitwise-identical to a
+    /// cold full run; only the work differs.
+    ///
+    /// `shot_key` distinguishes otherwise-identical solves sharing one cache
+    /// (e.g. the survey engine passes the shot index). `SparseMode::Classic`
+    /// is mapped to `FusedCompressed` (bitwise-identical wavefield; classic
+    /// per-timestep operators have no per-tile identity to cache). With the
+    /// cache disabled (`TEMPEST_CACHE_MB=0`) this falls back to the plain
+    /// [`run`](WaveSolver::run) path, bit-for-bit pre-cache behaviour.
+    pub fn run_incremental(
+        &mut self,
+        exec: &Execution,
+        cache: &TileCache,
+        shot_key: u64,
+    ) -> IncrementalReport {
+        let mut ex = *exec;
+        if ex.sparse == SparseMode::Classic {
+            ex.sparse = SparseMode::FusedCompressed;
+        }
+        assert!(
+            ex.supports_incremental(),
+            "schedule `{}` has no tile plan; incremental recomputation needs \
+             SpaceBlocked, WavefrontDataflow or Diamond",
+            ex.schedule_label()
+        );
+        ex.validate();
+        if !cache.enabled() {
+            let stats = self.run(exec);
+            return IncrementalReport {
+                stats,
+                total_tiles: 0,
+                reused: 0,
+                recomputed: 0,
+                cold: true,
+            };
+        }
+        let shape = self.shape();
+        let nt = self.cfg.nt;
+        let plan = match ex.schedule {
+            Schedule::SpaceBlocked { block_x, block_y } => {
+                TilePlan::spaceblocked(shape, nt, block_x, block_y, self.radius)
+            }
+            Schedule::WavefrontDataflow { .. } => {
+                TilePlan::wavefront(shape, nt, &ex.wavefront_spec(self.radius, 1), self.radius)
+            }
+            Schedule::Diamond { .. } => {
+                TilePlan::diamond(shape, nt, &ex.diamond_spec(self.radius, 1), self.radius)
+            }
+            _ => unreachable!("supports_incremental checked above"),
+        };
+        let sigs = self.source_sigs();
+        let rec_digest = self.receiver_digest();
+        let session = self.session_key(plan.geometry, ex.sparse, shot_key);
+        let masks = Self::node_masks(&plan, &sigs);
+        let delta = cache.begin_run(session, &sigs, rec_digest);
+        let cold = delta.is_none();
+        let dirty = match &delta {
+            Some(d) => dirty_cone(&plan, &d.rects),
+            None => vec![true; plan.len()],
+        };
+        let mut restores: Vec<Option<Arc<TilePayload>>> = Vec::with_capacity(plan.len());
+        let mut restore_ok = Vec::with_capacity(plan.len());
+        for (i, (&d, &mask)) in dirty.iter().zip(&masks).enumerate() {
+            let p = if d {
+                None
+            } else {
+                cache.lookup(session, i as u32, mask)
+            };
+            restore_ok.push(p.is_some());
+            restores.push(p);
+        }
+        crate::operator::record_backend_run(ex.kernel.resolve());
+        self.reset();
+        let started = Instant::now();
+        let this: &Acoustic = self;
+        let outcome = execute_incremental(
+            &plan,
+            ex.policy,
+            &restore_ok,
+            |vt, region| this.step_region(vt, region, ex.sparse, ex.kernel),
+            |i| {
+                let p = restores[i].as_deref().expect("restore without payload");
+                this.restore_tile(p, plan.block_x, plan.block_y, ex.sparse);
+            },
+            |i| {
+                let p = this.capture_tile(&plan.slabs[i]);
+                cache.insert(session, i as u32, masks[i], p);
+            },
+        );
+        let stats = RunStats::new(started.elapsed(), nt, shape);
+        cache.finish_run(session, sigs, rec_digest);
+        IncrementalReport {
+            stats,
+            total_tiles: outcome.total,
+            reused: outcome.reused,
+            recomputed: outcome.recomputed,
+            cold,
+        }
+    }
+}
+
+/// What one [`Acoustic::run_incremental`] solve did: timing plus the exact
+/// reuse tally (`reused + recomputed == total_tiles` whenever the cache was
+/// enabled — the counts mirror the `TilesReused` / `TilesRecomputed`
+/// counters but are recorded unconditionally, so tests can assert them
+/// without the obs feature).
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalReport {
+    /// Timing/throughput of the run.
+    pub stats: RunStats,
+    /// Tile nodes the plan enumerated (0 on the disabled-cache fallback).
+    pub total_tiles: usize,
+    /// Nodes restored from cache.
+    pub reused: usize,
+    /// Nodes recomputed.
+    pub recomputed: usize,
+    /// True when no completed prior run was available (or the cache is
+    /// disabled) and everything ran from scratch.
+    pub cold: bool,
+}
+
+impl IncrementalReport {
+    /// Fraction of tiles served from cache, in `[0, 1]`.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.total_tiles == 0 {
+            0.0
+        } else {
+            self.reused as f64 / self.total_tiles as f64
+        }
     }
 }
 

@@ -34,7 +34,7 @@ pub mod sources;
 pub mod trace;
 pub mod tti;
 
-pub use acoustic::{Acoustic, ShotAssets};
+pub use acoustic::{Acoustic, IncrementalReport, ShotAssets};
 pub use config::SimConfig;
 pub use elastic::Elastic;
 pub use operator::{DiamondAxis, Execution, KernelPath, RunStats, WaveSolver};

@@ -482,6 +482,21 @@ impl Execution {
         }
     }
 
+    /// Whether this execution's schedule can run on the incremental tile
+    /// plan ([`Acoustic::run_incremental`](crate::Acoustic::run_incremental)):
+    /// the schedule must map exactly onto a tile dependency graph — the
+    /// dataflow wavefront and diamond graphs, or the space-blocked schedule's
+    /// `tile_t = 1` wavefront degeneration. The barrier-synchronised
+    /// wavefront executors have no per-tile node identity to cache against.
+    pub fn supports_incremental(&self) -> bool {
+        matches!(
+            self.schedule,
+            Schedule::SpaceBlocked { .. }
+                | Schedule::WavefrontDataflow { .. }
+                | Schedule::Diamond { .. }
+        )
+    }
+
     /// Check schedule/sparse compatibility; panics on the Fig. 4b hazard.
     pub fn validate(&self) {
         if matches!(

@@ -73,6 +73,14 @@ pub mod trace;
 ///   `KernelPath` (so an `Auto` run records the backend it actually
 ///   dispatched to). Deterministic for a given host + `TEMPEST_KERNEL` /
 ///   `--kernel` selection.
+/// * `TilesReused` / `TilesRecomputed` — incremental-executor outcomes: a
+///   tile node either restored its cached output or recomputed it; the two
+///   always sum to the number of tiles the plan enumerates (the exact-count
+///   oracle of `tests/incremental.rs`). `TilesReused` is deterministic for a
+///   given cache state; a cold run records zero.
+/// * `CacheEvictions` — `TileCache` entries dropped to hold the
+///   `TEMPEST_CACHE_MB` budget (LRU order). Depends on insertion order, so
+///   not deterministic across thread caps.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Counter {
@@ -94,10 +102,13 @@ pub enum Counter {
     BackendScalar,
     BackendPortable,
     BackendAvx2,
+    TilesReused,
+    TilesRecomputed,
+    CacheEvictions,
 }
 
 impl Counter {
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
     pub const ALL: [Counter; Self::COUNT] = [
         Counter::StencilUpdates,
         Counter::SourceInjections,
@@ -117,6 +128,9 @@ impl Counter {
         Counter::BackendScalar,
         Counter::BackendPortable,
         Counter::BackendAvx2,
+        Counter::TilesReused,
+        Counter::TilesRecomputed,
+        Counter::CacheEvictions,
     ];
 
     pub fn name(self) -> &'static str {
@@ -139,6 +153,9 @@ impl Counter {
             Counter::BackendScalar => "backend_scalar",
             Counter::BackendPortable => "backend_portable",
             Counter::BackendAvx2 => "backend_avx2",
+            Counter::TilesReused => "tiles_reused",
+            Counter::TilesRecomputed => "tiles_recomputed",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 }

@@ -49,6 +49,8 @@
 /// * `PoolWorkers` — worker threads owned by the shared tile pool.
 /// * `ActiveWorkers` — pool workers currently inside a claimed job (not
 ///   parked on the publication board).
+/// * `CacheHitRatePct` — `TileCache` lifetime hit rate in whole percent
+///   (hits × 100 / lookups); 0 until the first lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum Gauge {
@@ -60,10 +62,11 @@ pub enum Gauge {
     StalledJobs,
     PoolWorkers,
     ActiveWorkers,
+    CacheHitRatePct,
 }
 
 impl Gauge {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
     pub const ALL: [Gauge; Self::COUNT] = [
         Gauge::QueueDepth,
         Gauge::RunningJobs,
@@ -73,6 +76,7 @@ impl Gauge {
         Gauge::StalledJobs,
         Gauge::PoolWorkers,
         Gauge::ActiveWorkers,
+        Gauge::CacheHitRatePct,
     ];
 
     pub fn name(self) -> &'static str {
@@ -85,6 +89,7 @@ impl Gauge {
             Gauge::StalledJobs => "stalled_jobs",
             Gauge::PoolWorkers => "pool_workers",
             Gauge::ActiveWorkers => "active_workers",
+            Gauge::CacheHitRatePct => "cache_hit_rate_pct",
         }
     }
 }

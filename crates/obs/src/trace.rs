@@ -44,7 +44,9 @@ pub const DEFAULT_CAPACITY: usize = 262_144;
 /// `Stencil`/`Sparse` the propagator phases; `BarrierWait` the
 /// `run_batch` caller's wait for workers or a dataflow participant's idle
 /// wait for a ready tile; `Shot` one whole shot solve of the survey engine
-/// (the shot index rides in `vt`).
+/// (the shot index rides in `vt`); `CacheRestore` one tile node whose output
+/// the incremental executor restored from the `TileCache` instead of
+/// recomputing.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
 pub enum SpanKind {
@@ -58,10 +60,11 @@ pub enum SpanKind {
     Sparse,
     BarrierWait,
     Shot,
+    CacheRestore,
 }
 
 impl SpanKind {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
     pub const ALL: [SpanKind; Self::COUNT] = [
         SpanKind::Tile,
         SpanKind::Slab,
@@ -73,6 +76,7 @@ impl SpanKind {
         SpanKind::Sparse,
         SpanKind::BarrierWait,
         SpanKind::Shot,
+        SpanKind::CacheRestore,
     ];
 
     pub fn name(self) -> &'static str {
@@ -87,6 +91,7 @@ impl SpanKind {
             SpanKind::Sparse => "sparse",
             SpanKind::BarrierWait => "barrier_wait",
             SpanKind::Shot => "shot",
+            SpanKind::CacheRestore => "cache_restore",
         }
     }
 }

@@ -17,16 +17,19 @@
 //! `shot_threads = 1` pins every solve to its worker thread and makes
 //! gathers bitwise-deterministic across `TEMPEST_THREADS` caps.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use tempest_core::operator::Schedule;
+use tempest_core::operator::{Schedule, SparseMode};
 use tempest_core::{Acoustic, Execution, ShotAssets, SimConfig, WaveSolver};
 use tempest_grid::{Array2, Model};
 use tempest_obs as obs;
 use tempest_par::{with_thread_budget, Policy};
 use tempest_sparse::SparsePoints;
+use tempest_tiling::TileCache;
 
 use crate::shard::{shard_range, CancelFlag};
 
@@ -175,6 +178,16 @@ pub struct SurveyOptions {
     /// The shot then solves normally, so the run still completes. `None`
     /// (the default) injects nothing.
     pub inject_hang: Option<(usize, u64)>,
+    /// Shared per-tile result cache for incremental recomputation. When set
+    /// (and enabled), shots running a fused sparse path under a
+    /// tile-plannable schedule solve via
+    /// [`Acoustic::run_incremental`] keyed by their shot index, so a
+    /// resubmitted survey with a nudged source reuses every tile outside the
+    /// change's causal cone; the autotuner also memoises its probe result
+    /// here. `None` (the default) keeps the exact pre-cache execution path.
+    /// Classic-sparse shots never take the incremental path — their
+    /// per-timestep sparse operators have no per-tile identity.
+    pub cache: Option<Arc<TileCache>>,
 }
 
 impl Default for SurveyOptions {
@@ -186,6 +199,7 @@ impl Default for SurveyOptions {
             batch_size: 0,
             tune: false,
             inject_hang: None,
+            cache: None,
         }
     }
 }
@@ -297,7 +311,9 @@ where
                 }
             }
             let solved = catch_unwind(AssertUnwindSafe(|| {
-                with_thread_budget(opts.shot_threads, || solve_one(&assets, &shots[i], &exec))
+                with_thread_budget(opts.shot_threads, || {
+                    solve_one(&assets, &shots[i], &exec, opts.cache.as_deref(), i as u64)
+                })
             }));
             match solved {
                 Ok(Ok(gather)) => {
@@ -366,10 +382,40 @@ fn solve_one(
     assets: &ShotAssets,
     spec: &ShotSpec,
     exec: &Execution,
+    cache: Option<&TileCache>,
+    shot_key: u64,
 ) -> Result<Option<Array2<f32>>, String> {
     let mut solver = build_solver(assets, spec)?;
-    let _ = solver.run(exec);
+    match cache {
+        // The incremental path only serves fused sparse runs on schedules
+        // with a tile plan; everything else (notably the default classic
+        // baseline) keeps the exact pre-cache execution path.
+        Some(c)
+            if c.enabled()
+                && exec.supports_incremental()
+                && exec.sparse != SparseMode::Classic =>
+        {
+            let _ = solver.run_incremental(exec, c, shot_key);
+        }
+        _ => {
+            let _ = solver.run(exec);
+        }
+    }
     Ok(solver.trace())
+}
+
+/// Memo key for the autotune probe: the probe's timing verdict depends on
+/// the grid, the discretisation and the per-shot thread budget, not on shot
+/// positions, so one tuned shape serves every resubmission of the survey.
+fn tune_key(survey: &Survey, opts: &SurveyOptions) -> u64 {
+    let shape = survey.cfg().shape();
+    let mut h = DefaultHasher::new();
+    h.write_usize(shape.nx);
+    h.write_usize(shape.ny);
+    h.write_usize(shape.nz);
+    h.write_usize(survey.cfg().space_order);
+    h.write_usize(opts.shot_threads);
+    h.finish()
 }
 
 /// Resolve the execution for this run, autotuning the space-block shape on
@@ -387,6 +433,14 @@ fn tuned_exec(survey: &Survey, opts: &SurveyOptions) -> Execution {
     let cfg = survey.cfg();
     if validate_shot(cfg, &ShotSpec::at(probe_shot.position)).is_err() {
         return exec; // the per-shot error path will report it
+    }
+    // Cache-aware candidate skip: a prior run of the same grid already paid
+    // for the probe sweep — reuse its verdict (and record no new
+    // `BatchAutotune` pass, since none ran).
+    let key = tune_key(survey, opts);
+    if let Some((block_x, block_y)) = opts.cache.as_deref().and_then(|c| c.tune_lookup(key)) {
+        exec.schedule = Schedule::SpaceBlocked { block_x, block_y };
+        return exec;
     }
     let probe_cfg = cfg.clone().with_nt(cfg.nt.clamp(2, 6));
     let probe_assets = ShotAssets::new(survey.model(), probe_cfg, None);
@@ -412,6 +466,11 @@ fn tuned_exec(survey: &Survey, opts: &SurveyOptions) -> Execution {
     }
     obs::add(obs::Counter::BatchAutotune, 1);
     exec.schedule = best.1;
+    if let (Some(cache), Schedule::SpaceBlocked { block_x, block_y }) =
+        (opts.cache.as_deref(), exec.schedule)
+    {
+        cache.tune_store(key, (block_x, block_y));
+    }
     exec
 }
 

@@ -26,6 +26,11 @@
 //!   global gauges in sync, exports `/metrics`+`/jobs` over HTTP, derives
 //!   per-job progress/ETA from completed virtual steps, and runs a stall
 //!   watchdog over the tile-completion heartbeat ([`ServiceConfig`]).
+//! * Incremental reruns — the service keeps one
+//!   [`tempest_tiling::TileCache`] (sized by `TEMPEST_CACHE_MB`) across
+//!   jobs and lends it to every submission, so resubmitting a survey with
+//!   a nudged source recomputes only the dirty causal cone of the change
+//!   (DESIGN.md §16) while clean tiles restore bit-for-bit from cache.
 //! * [`rtm`] — checkpointed reverse-time migration end-to-end on the
 //!   existing `LevelRing::checkpoint`/`restore` + `Acoustic::run_range`
 //!   machinery: the forward pass stores sparse ring checkpoints instead of
@@ -48,3 +53,4 @@ pub use engine::{
 pub use queue::{JobId, JobSpec, JobState, JobStatus, ServiceConfig, SurveyService};
 pub use rtm::{rtm_image, RtmOptions};
 pub use shard::{shard, CancelFlag};
+pub use tempest_tiling::TileCache;

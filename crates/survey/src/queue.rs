@@ -50,6 +50,7 @@ use tempest_grid::Array2;
 use tempest_obs as obs;
 use tempest_obs::metrics::{Gauge, JobSnapshot};
 use tempest_par::with_thread_budget;
+use tempest_tiling::TileCache;
 
 use crate::engine::{panic_message, run_survey_streaming, Survey, SurveyOptions};
 use crate::shard::CancelFlag;
@@ -149,6 +150,12 @@ pub struct ServiceConfig {
     /// `None` takes the address from `TEMPEST_TELEMETRY`, falling back to
     /// [`tempest_obs::serve::DEFAULT_ADDR`].
     pub endpoint_addr: Option<String>,
+    /// Keep a service-wide [`TileCache`] (sized by `TEMPEST_CACHE_MB`) and
+    /// lend it to every job whose [`SurveyOptions::cache`] is unset, so a
+    /// resubmitted survey with a nudged source reuses the previous job's
+    /// tile outputs. `false` — or `TEMPEST_CACHE_MB=0` — restores the exact
+    /// pre-cache execution path.
+    pub cache: bool,
 }
 
 impl Default for ServiceConfig {
@@ -159,6 +166,7 @@ impl Default for ServiceConfig {
             watchdog: true,
             telemetry: true,
             endpoint_addr: None,
+            cache: true,
         }
     }
 }
@@ -343,6 +351,9 @@ struct Inner {
     work_cv: Condvar,
     /// Wakes [`SurveyService::wait`]ers on terminal transitions.
     done_cv: Condvar,
+    /// Service-wide tile cache lent to jobs that don't bring their own
+    /// ([`ServiceConfig::cache`]). `None` when disabled by config or env.
+    cache: Option<Arc<TileCache>>,
 }
 
 /// The survey job queue. See the module docs for the protocol.
@@ -359,7 +370,7 @@ pub struct SurveyService {
 }
 
 impl SurveyService {
-    fn new_inner() -> Arc<Inner> {
+    fn new_inner(cache: Option<Arc<TileCache>>) -> Arc<Inner> {
         Arc::new(Inner {
             state: Mutex::new(ServiceState {
                 next_id: 0,
@@ -369,16 +380,25 @@ impl SurveyService {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            cache,
         })
+    }
+
+    /// The env-sized service cache, or `None` when `TEMPEST_CACHE_MB=0`
+    /// disables it (an always-miss cache would add bookkeeping for nothing).
+    fn env_cache() -> Option<Arc<TileCache>> {
+        let cache = TileCache::from_env();
+        cache.enabled().then(|| Arc::new(cache))
     }
 
     /// A paused service: submissions queue up until [`drain`](Self::drain)
     /// runs them synchronously. Deterministic by construction. No watchdog
     /// or endpoint — the telemetry gauges still track its transitions when
-    /// telemetry is on.
+    /// telemetry is on, and the service tile cache is kept (drained reruns
+    /// reuse tiles just like live ones).
     pub fn paused() -> Self {
         SurveyService {
-            inner: Self::new_inner(),
+            inner: Self::new_inner(Self::env_cache()),
             scheduler: None,
             watchdog: None,
             telemetry: None,
@@ -396,7 +416,7 @@ impl SurveyService {
 
     /// A live service with explicit watchdog/telemetry configuration.
     pub fn start_with(cfg: ServiceConfig) -> Self {
-        let inner = Self::new_inner();
+        let inner = Self::new_inner(if cfg.cache { Self::env_cache() } else { None });
         let worker = Arc::clone(&inner);
         let scheduler = std::thread::Builder::new()
             .name("tempest-survey-scheduler".into())
@@ -451,6 +471,13 @@ impl SurveyService {
     /// running (`TEMPEST_TELEMETRY` set and the bind succeeded).
     pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
         self.telemetry.as_ref().map(|t| t.local_addr())
+    }
+
+    /// The service-wide tile cache lent to jobs, if one is active
+    /// ([`ServiceConfig::cache`] on and `TEMPEST_CACHE_MB` nonzero).
+    /// Exposes hit/eviction statistics for monitoring and tests.
+    pub fn tile_cache(&self) -> Option<&Arc<TileCache>> {
+        self.inner.cache.as_ref()
     }
 
     /// Submit a job; returns immediately with its handle.
@@ -638,9 +665,15 @@ fn run_job(inner: &Arc<Inner>, id: JobId) {
         }
         job.state = JobState::Running;
         job.started_at = Some(Instant::now());
+        let mut opts = job.opts.clone();
+        if opts.cache.is_none() {
+            // Lend the service cache so consecutive jobs over the same
+            // geometry reuse each other's tiles; a job-supplied cache wins.
+            opts.cache = inner.cache.clone();
+        }
         let picked = (
             Arc::clone(&job.survey),
-            job.opts.clone(),
+            opts,
             job.threads,
             Arc::clone(&job.cancel),
         );

@@ -1,0 +1,1067 @@
+//! Incremental recomputation over the tile dependency graph.
+//!
+//! The dataflow executors ([`crate::wavefront::execute_dataflow`],
+//! [`crate::diamond::execute_diamond`]) already materialize the *exact*
+//! space-time tile dependency graph of a sweep. This module exploits it,
+//! differential-dataflow style ("only act where changes occur, do no work
+//! elsewhere"): when the sparse off-the-grid inputs of a solve change
+//! between two runs — a moved source, an edited wavelet, a different
+//! receiver set — only the tiles inside the change's causal cone need new
+//! work. Everything else is restored bit-for-bit from a bounded per-tile
+//! result cache.
+//!
+//! Three pieces compose:
+//!
+//! * [`TilePlan`] — a schedule-agnostic snapshot of one sweep: per-node slab
+//!   lists (ascending `vt`) plus the predecessor/successor edges of the tile
+//!   graph. Built from the wavefront graph ([`TilePlan::wavefront`]), the
+//!   diamond graph ([`TilePlan::diamond`]), or the space-blocked schedule
+//!   mapped onto its `tile_t = 1` wavefront degeneration
+//!   ([`TilePlan::spaceblocked`]).
+//! * [`dirty_cone`] — given a [`RunDelta`] (the changed grid rectangles),
+//!   seeds every tile whose written footprint intersects a changed cell and
+//!   propagates dirtiness forward over the successor edges. A tile outside
+//!   the cone has bitwise-unchanged inputs *and* injections, so its output
+//!   is bitwise-unchanged — the invariant the property tests pin against a
+//!   brute-force transitive-closure oracle.
+//! * [`TileCache`] — a bounded, LRU-evicting store of per-tile outputs,
+//!   content-addressed by a session key (model + config + schedule
+//!   geometry), the tile id, and a digest of the sparse points intersecting
+//!   the tile's footprint. `TEMPEST_CACHE_MB` bounds the payload bytes
+//!   (`0` disables caching entirely).
+//!
+//! [`execute_incremental`] then drives the same `tempest_par::run_dataflow`
+//! substrate as the plain executors, but each node either *restores* its
+//! cached output (a pencil-granularity ring write, no stencil work) or
+//! *computes* it exactly as the plain executor would — same slabs, same
+//! `(block_x, block_y)` cuts, same step order — so a cold incremental run
+//! is bitwise-identical to the plain dataflow run, and a warm run is
+//! bitwise-identical to a cold one while touching only the cone.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tempest_grid::{Range3, Shape};
+use tempest_obs as obs;
+use tempest_par::Policy;
+
+use crate::diamond::{diamond_slab, diamond_tile_graph, DiamondSpec};
+use crate::wavefront::{tile_graph, tile_slab, Slab, WavefrontSpec};
+
+/// Default cache budget (MiB) when `TEMPEST_CACHE_MB` is unset —
+/// deliberately conservative for shared hosts.
+pub const DEFAULT_CACHE_MB: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------------
+
+/// A dirty rectangle in the (x, y) plane (z is never tiled, so a change at
+/// any depth dirties the whole pencil column). Half-open on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirtyRect {
+    /// First dirty x (inclusive).
+    pub x0: usize,
+    /// Last dirty x (exclusive).
+    pub x1: usize,
+    /// First dirty y (inclusive).
+    pub y0: usize,
+    /// Last dirty y (exclusive).
+    pub y1: usize,
+}
+
+impl DirtyRect {
+    /// Whether the rectangle intersects `r`'s xy footprint.
+    pub fn overlaps(&self, r: &Range3) -> bool {
+        self.x0 < r.x1 && r.x0 < self.x1 && self.y0 < r.y1 && r.y0 < self.y1
+    }
+
+    /// Whether the rectangle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+}
+
+/// What changed between two runs of the same session: the union of grid
+/// rectangles whose injections changed (moved/added/removed/re-weighted
+/// sources), plus whether the receiver set changed. Receivers are read-only
+/// gathers — they never dirty a stencil tile, because restored tiles replay
+/// their gathers against the *current* receiver bundle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunDelta {
+    /// Changed (x, y) rectangles; sources fire at every timestep, so each
+    /// rect seeds every time row.
+    pub rects: Vec<DirtyRect>,
+    /// The receiver set differs from the cached run.
+    pub receivers_changed: bool,
+}
+
+impl RunDelta {
+    /// True when nothing at all changed.
+    pub fn is_clean(&self) -> bool {
+        self.rects.iter().all(DirtyRect::is_empty) && !self.receivers_changed
+    }
+}
+
+/// One sparse point's contribution to delta detection: a digest of
+/// everything that shapes its injections (position, interpolation stencil,
+/// wavelet) plus the xy bounding box of its non-zero footprint cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSig {
+    /// Digest of position bits + stencil cells/weights + wavelet samples.
+    pub digest: u64,
+    /// xy bounding box of the footprint's non-zero cells.
+    pub rect: DirtyRect,
+}
+
+// ---------------------------------------------------------------------------
+// TilePlan
+// ---------------------------------------------------------------------------
+
+/// A schedule-agnostic snapshot of one sweep's tile structure: per-node
+/// slabs in ascending `vt` plus the exact dependency edges. All incremental
+/// machinery (cone marking, caching, execution) works on this one shape, so
+/// it composes with every schedule that can produce a tile graph.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// Per-node slabs, ascending `vt` — exactly the slabs the plain
+    /// executor would run for that node.
+    pub slabs: Vec<Vec<Slab>>,
+    /// `preds[i]` — nodes whose outputs node `i` reads (sorted, deduped).
+    pub preds: Vec<Vec<u32>>,
+    /// `succs[i]` — nodes reading node `i`'s output (the cone edges).
+    pub succs: Vec<Vec<u32>>,
+    /// Intra-slab block extent along x.
+    pub block_x: usize,
+    /// Intra-slab block extent along y.
+    pub block_y: usize,
+    /// Virtual steps of the sweep.
+    pub nvt: usize,
+    /// Digest of the schedule geometry (kind, spec, shape, nvt, radius) —
+    /// folded into cache session keys so plans with different tilings never
+    /// share entries.
+    pub geometry: u64,
+}
+
+fn succs_of(preds: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); preds.len()];
+    for (ia, ps) in preds.iter().enumerate() {
+        for &ib in ps {
+            succs[ib as usize].push(ia as u32);
+        }
+    }
+    succs
+}
+
+fn hash_u64(parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    parts.hash(&mut h);
+    h.finish()
+}
+
+impl TilePlan {
+    /// Plan of a wavefront-dataflow sweep: nodes and edges from
+    /// [`tile_graph`], slabs from [`tile_slab`].
+    pub fn wavefront(shape: Shape, nvt: usize, spec: &WavefrontSpec, radius: usize) -> Self {
+        let (tiles, preds) = tile_graph(shape, nvt, spec, radius);
+        let slabs = tiles
+            .iter()
+            .map(|t| {
+                (t.t0..t.t1)
+                    .filter_map(|vt| tile_slab(shape, spec, t, vt))
+                    .collect()
+            })
+            .collect();
+        let geometry = hash_u64(&[
+            1,
+            shape.nx as u64,
+            shape.ny as u64,
+            shape.nz as u64,
+            nvt as u64,
+            radius as u64,
+            spec.tile_x as u64,
+            spec.tile_y as u64,
+            spec.tile_t as u64,
+            spec.skew as u64,
+            spec.block_x as u64,
+            spec.block_y as u64,
+        ]);
+        let succs = succs_of(&preds);
+        TilePlan {
+            slabs,
+            succs,
+            preds,
+            block_x: spec.block_x,
+            block_y: spec.block_y,
+            nvt,
+            geometry,
+        }
+    }
+
+    /// Plan of a diamond sweep: nodes and edges from
+    /// [`diamond_tile_graph`], slabs from [`diamond_slab`].
+    pub fn diamond(shape: Shape, nvt: usize, spec: &DiamondSpec, radius: usize) -> Self {
+        let (tiles, preds) = diamond_tile_graph(shape, nvt, spec, radius);
+        let slabs = tiles
+            .iter()
+            .map(|t| {
+                (t.t0..t.t1)
+                    .filter_map(|vt| diamond_slab(shape, spec, t, vt))
+                    .collect()
+            })
+            .collect();
+        let geometry = hash_u64(&[
+            2,
+            shape.nx as u64,
+            shape.ny as u64,
+            shape.nz as u64,
+            nvt as u64,
+            radius as u64,
+            spec.tile_t as u64,
+            spec.slope as u64,
+            spec.tile_c as u64,
+            spec.cross_skew as u64,
+            spec.block_x as u64,
+            spec.block_y as u64,
+            spec.axis as u64,
+        ]);
+        let succs = succs_of(&preds);
+        TilePlan {
+            slabs,
+            succs,
+            preds,
+            block_x: spec.block_x,
+            block_y: spec.block_y,
+            nvt,
+            geometry,
+        }
+    }
+
+    /// Plan of the space-blocked schedule, mapped onto its exact `tile_t=1`
+    /// wavefront degeneration: one node per `(vt, block)`, with skew-free
+    /// slabs (at tile height 1 no skew ever applies) and the same block
+    /// decomposition as `spaceblock::execute`. The per-slab step calls are
+    /// identical to the plain schedule's, so the wavefield is bitwise
+    /// identical — only the inter-step barrier is replaced by the exact
+    /// dependency edges.
+    pub fn spaceblocked(
+        shape: Shape,
+        nvt: usize,
+        block_x: usize,
+        block_y: usize,
+        radius: usize,
+    ) -> Self {
+        let spec = WavefrontSpec::new(block_x, block_y, 1, radius.max(1), block_x, block_y);
+        let mut plan = Self::wavefront(shape, nvt, &spec, radius);
+        // Distinguish the mapping from a genuine tile_t=1 wavefront run.
+        plan.geometry = hash_u64(&[3, plan.geometry]);
+        plan
+    }
+
+    /// Number of tile nodes.
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Whether the plan has no nodes (`nvt == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dirty cone
+// ---------------------------------------------------------------------------
+
+/// Mark every node inside the causal cone of `rects`: seeds are the nodes
+/// whose *written* footprint (any slab, any `vt` — sparse sources fire at
+/// every step) intersects a changed rectangle, and dirtiness propagates
+/// forward over the successor edges. Because the edges are the exact
+/// radius-dilated flow dependences, a node outside the cone neither contains
+/// a changed injection nor (transitively) reads a value produced by one —
+/// its output is bitwise-unchanged.
+pub fn dirty_cone(plan: &TilePlan, rects: &[DirtyRect]) -> Vec<bool> {
+    let mut dirty = vec![false; plan.len()];
+    let mut queue: Vec<u32> = Vec::new();
+    for (i, slabs) in plan.slabs.iter().enumerate() {
+        if slabs
+            .iter()
+            .any(|s| rects.iter().any(|r| r.overlaps(&s.range)))
+        {
+            dirty[i] = true;
+            queue.push(i as u32);
+        }
+    }
+    while let Some(i) = queue.pop() {
+        for &s in &plan.succs[i as usize] {
+            if !dirty[s as usize] {
+                dirty[s as usize] = true;
+                queue.push(s);
+            }
+        }
+    }
+    dirty
+}
+
+/// Brute-force oracle for [`dirty_cone`]: same seed rule, then an O(n²)
+/// fixpoint over the *predecessor* lists ("dirty if any predecessor is
+/// dirty") instead of a forward traversal — an independently-derived
+/// transitive closure the property tests compare against.
+pub fn dirty_cone_oracle(plan: &TilePlan, rects: &[DirtyRect]) -> Vec<bool> {
+    let mut dirty: Vec<bool> = plan
+        .slabs
+        .iter()
+        .map(|slabs| {
+            slabs
+                .iter()
+                .any(|s| rects.iter().any(|r| r.overlaps(&s.range)))
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..dirty.len() {
+            if !dirty[i] && plan.preds[i].iter().any(|&p| dirty[p as usize]) {
+                dirty[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dirty
+}
+
+// ---------------------------------------------------------------------------
+// TileCache
+// ---------------------------------------------------------------------------
+
+/// One tile's cached output: the interior pencils it wrote, per slab.
+#[derive(Debug, Clone)]
+pub struct TilePayload {
+    /// Per-slab written data, same order as the plan's slab list.
+    pub slabs: Vec<SlabPayload>,
+}
+
+/// The values one slab wrote: `data` holds the `(x, y)` pencils of
+/// `slab.range` in x-major, then y, then z order.
+#[derive(Debug, Clone)]
+pub struct SlabPayload {
+    /// The slab this payload reproduces.
+    pub slab: Slab,
+    /// `range.len()` f32 values, x-major / y / z.
+    pub data: Vec<f32>,
+}
+
+impl SlabPayload {
+    /// The z-pencil at interior `(x, y)` (must lie inside the slab range).
+    pub fn pencil(&self, x: usize, y: usize) -> &[f32] {
+        let r = &self.slab.range;
+        let nz = r.z1 - r.z0;
+        let base = ((x - r.x0) * (r.y1 - r.y0) + (y - r.y0)) * nz;
+        &self.data[base..base + nz]
+    }
+}
+
+impl TilePayload {
+    /// Total payload bytes (the unit [`TileCache`] budgets).
+    pub fn bytes(&self) -> usize {
+        self.slabs
+            .iter()
+            .map(|s| s.data.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+struct Entry {
+    payload: Arc<TilePayload>,
+    /// Digest of the sparse sources intersecting this tile's footprint at
+    /// insert time — a consistency check on lookups (clean-cone tiles
+    /// necessarily have an unchanged local digest).
+    mask: u64,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Session {
+    /// Set by `finish_run`; a session that was begun but never finished
+    /// (crash, panic, cancellation) is discarded by the next `begin_run`,
+    /// so a torn run can never seed a warm rerun.
+    completed: bool,
+    sources: Vec<SourceSig>,
+    receivers: u64,
+    entries: HashMap<u32, Entry>,
+}
+
+struct CacheInner {
+    sessions: HashMap<u64, Session>,
+    /// Autotune memo: probe key → tuned `(block_x, block_y)`.
+    tune: HashMap<u64, (usize, usize)>,
+    bytes: usize,
+}
+
+/// Aggregate cache statistics (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful tile-payload lookups.
+    pub hits: u64,
+    /// Failed lookups (absent, evicted, or mask mismatch).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Current payload bytes held.
+    pub bytes: usize,
+    /// Current entry count across all sessions.
+    pub entries: usize,
+    /// Runs begun against this cache (the epoch counter).
+    pub epoch: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in percent (0 when nothing was looked up).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, shared, LRU-evicting store of per-tile outputs.
+///
+/// Keys are three-level: a *session* (u64 digest of model + config +
+/// schedule geometry + shot identity), a *tile id* (node index in the
+/// session's [`TilePlan`] — stable because the plan is a pure function of
+/// the session's geometry), and a *mask* digest of the sparse points
+/// intersecting the tile's footprint. The byte budget comes from
+/// `TEMPEST_CACHE_MB` ([`TileCache::from_env`]); `0` disables the cache
+/// ([`TileCache::enabled`] returns false and the engines fall back to the
+/// plain, pre-cache execution path bit-for-bit).
+///
+/// Epoch bumps (`begin_run`) and all map mutation happen under one mutex;
+/// the atomics (`epoch`, `tick`, hit/miss tallies) are monotonic telemetry
+/// with `Relaxed` ordering — cross-thread visibility of payloads is carried
+/// by the mutex and by the dataflow executor's spawn/join edges, never by
+/// the counters (DESIGN.md §16).
+pub struct TileCache {
+    cap_bytes: usize,
+    epoch: AtomicU64,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for TileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TileCache")
+            .field("cap_bytes", &self.cap_bytes)
+            .field("bytes", &s.bytes)
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+/// Resolve a raw `TEMPEST_CACHE_MB` value to a MiB budget: unset/empty or
+/// unparsable falls back to the conservative default, an explicit `0`
+/// disables the cache.
+pub fn cache_mb_from(raw: Option<&str>) -> usize {
+    match raw {
+        Some(v) if !v.trim().is_empty() => v.trim().parse().unwrap_or(DEFAULT_CACHE_MB),
+        _ => DEFAULT_CACHE_MB,
+    }
+}
+
+impl TileCache {
+    /// A cache bounded to `mb` MiB of payload (0 = disabled).
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        TileCache {
+            cap_bytes: mb.saturating_mul(1024 * 1024),
+            epoch: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inner: Mutex::new(CacheInner {
+                sessions: HashMap::new(),
+                tune: HashMap::new(),
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// A cache sized from `TEMPEST_CACHE_MB` (default
+    /// [`DEFAULT_CACHE_MB`]; `0` disables).
+    pub fn from_env() -> Self {
+        Self::with_capacity_mb(cache_mb_from(
+            std::env::var("TEMPEST_CACHE_MB").ok().as_deref(),
+        ))
+    }
+
+    /// Whether caching is on (a zero budget disables every path).
+    pub fn enabled(&self) -> bool {
+        self.cap_bytes > 0
+    }
+
+    /// The configured payload budget in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Begin a run of `session`. Returns `Some(delta)` — what changed since
+    /// the cached run — when the session holds a *completed* prior run, or
+    /// `None` when the run must be cold (first sight of the session, or the
+    /// prior run never finished). Either way the session is marked
+    /// in-progress until [`finish_run`](Self::finish_run), so an aborted
+    /// run poisons itself, never a future rerun.
+    pub fn begin_run(
+        &self,
+        session: u64,
+        sources: &[SourceSig],
+        receivers: u64,
+    ) -> Option<RunDelta> {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.lock();
+        match inner.sessions.get_mut(&session) {
+            Some(s) if s.completed => {
+                s.completed = false;
+                let mut rects = Vec::new();
+                for i in 0..s.sources.len().max(sources.len()) {
+                    let old = s.sources.get(i);
+                    let new = sources.get(i);
+                    if old.map(|o| o.digest) == new.map(|n| n.digest) {
+                        continue;
+                    }
+                    rects.extend(old.map(|o| o.rect));
+                    rects.extend(new.map(|n| n.rect));
+                }
+                let receivers_changed = s.receivers != receivers;
+                Some(RunDelta {
+                    rects,
+                    receivers_changed,
+                })
+            }
+            _ => {
+                // Unknown session or a torn previous run: start cold.
+                let freed: usize = inner
+                    .sessions
+                    .remove(&session)
+                    .map(|s| s.entries.values().map(|e| e.bytes).sum())
+                    .unwrap_or(0);
+                inner.bytes -= freed;
+                inner.sessions.insert(
+                    session,
+                    Session {
+                        completed: false,
+                        sources: sources.to_vec(),
+                        receivers,
+                        entries: HashMap::new(),
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Mark `session`'s run complete and record the layout the cached
+    /// entries now correspond to. Only after this does the session become
+    /// eligible for warm reruns.
+    pub fn finish_run(&self, session: u64, sources: Vec<SourceSig>, receivers: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(s) = inner.sessions.get_mut(&session) {
+            s.sources = sources;
+            s.receivers = receivers;
+            s.completed = true;
+        }
+    }
+
+    /// Fetch a tile payload; `mask` must match the digest recorded at
+    /// insert. Updates the hit/miss tallies and the exported hit-rate
+    /// gauge.
+    pub fn lookup(&self, session: u64, node: u32, mask: u64) -> Option<Arc<TilePayload>> {
+        if !self.enabled() {
+            return None;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.lock();
+        let found = inner
+            .sessions
+            .get_mut(&session)
+            .and_then(|s| s.entries.get_mut(&node))
+            .filter(|e| e.mask == mask)
+            .map(|e| {
+                e.last_used = tick;
+                Arc::clone(&e.payload)
+            });
+        drop(inner);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let total = hits + self.misses.load(Ordering::Relaxed);
+        obs::metrics::gauge_set(
+            obs::metrics::Gauge::CacheHitRatePct,
+            (hits * 100 / total.max(1)) as i64,
+        );
+        found
+    }
+
+    /// Store a tile payload, evicting least-recently-used entries (across
+    /// all sessions) until the byte budget holds. A payload larger than the
+    /// whole budget is dropped outright.
+    pub fn insert(&self, session: u64, node: u32, mask: u64, payload: TilePayload) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = payload.bytes();
+        if bytes > self.cap_bytes {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.lock();
+        let Some(s) = inner.sessions.get_mut(&session) else {
+            return; // no begin_run for this session — refuse silently
+        };
+        if let Some(old) = s.entries.insert(
+            node,
+            Entry {
+                payload: Arc::new(payload),
+                mask,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.cap_bytes {
+            // Global LRU scan; victim cannot be the entry just touched at
+            // `tick` unless it is the only one left.
+            let victim = inner
+                .sessions
+                .iter()
+                .flat_map(|(&sk, s)| s.entries.iter().map(move |(&n, e)| (e.last_used, sk, n)))
+                .min()
+                .map(|(_, sk, n)| (sk, n));
+            let Some((sk, n)) = victim else { break };
+            let freed = inner
+                .sessions
+                .get_mut(&sk)
+                .and_then(|s| s.entries.remove(&n))
+                .map_or(0, |e| e.bytes);
+            inner.bytes -= freed;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::add(obs::Counter::CacheEvictions, 1);
+        }
+    }
+
+    /// Autotune memo lookup: the tuned `(block_x, block_y)` for `key`.
+    pub fn tune_lookup(&self, key: u64) -> Option<(usize, usize)> {
+        if !self.enabled() {
+            return None;
+        }
+        self.lock().tune.get(&key).copied()
+    }
+
+    /// Record a tuned `(block_x, block_y)` for `key`.
+    pub fn tune_store(&self, key: u64, blocks: (usize, usize)) {
+        if !self.enabled() {
+            return;
+        }
+        self.lock().tune.insert(key, blocks);
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: inner.bytes,
+            entries: inner.sessions.values().map(|s| s.entries.len()).sum(),
+            epoch: self.epoch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental executor
+// ---------------------------------------------------------------------------
+
+/// Tallies of one incremental sweep. `reused + recomputed == total` always
+/// — the exact-count oracle the tests (and the obs counters
+/// `TilesReused` / `TilesRecomputed`) pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalOutcome {
+    /// Tile nodes enumerated by the plan.
+    pub total: usize,
+    /// Nodes restored from cache.
+    pub reused: usize,
+    /// Nodes recomputed (dirty cone + cache misses).
+    pub recomputed: usize,
+}
+
+/// Run one sweep over `plan` on the dataflow substrate, restoring the nodes
+/// with `restore_ok[i] == true` and computing the rest.
+///
+/// * `step(vt, region)` — compute `region` at virtual step `vt` (identical
+///   contract to the plain executors; called with the same slab/block
+///   decomposition in the same per-node order).
+/// * `restore(i)` — write node `i`'s cached output into the wavefield (and
+///   replay its read-only side effects, e.g. receiver gathers). Runs at the
+///   node's position in the dependency order, so downstream readers observe
+///   restored values exactly as they would computed ones.
+/// * `after_compute(i)` — capture node `i`'s freshly-written output (cache
+///   insert). Runs before the node's successors are released.
+///
+/// Every node — restored or computed — executes as a dataflow task, so
+/// scheduling counters (`ParTasks`, heartbeats) stay deterministic across
+/// the two paths.
+pub fn execute_incremental<S, R, C>(
+    plan: &TilePlan,
+    policy: Policy,
+    restore_ok: &[bool],
+    step: S,
+    restore: R,
+    after_compute: C,
+) -> IncrementalOutcome
+where
+    S: Fn(usize, &Range3) + Sync + Send,
+    R: Fn(usize) + Sync + Send,
+    C: Fn(usize) + Sync + Send,
+{
+    assert_eq!(restore_ok.len(), plan.len(), "restore mask/plan mismatch");
+    let graph = tempest_par::DepGraph::from_preds(&plan.preds);
+    let reused = AtomicUsize::new(0);
+    let recomputed = AtomicUsize::new(0);
+    let sw = obs::start(obs::Phase::Dataflow);
+    let _dsp = obs::trace::span(
+        obs::trace::SpanKind::Dataflow,
+        obs::trace::SpanArgs {
+            t0: 0,
+            t1: plan.nvt as i32,
+            ..Default::default()
+        },
+    );
+    tempest_par::run_dataflow(policy, &graph, |i| {
+        let slabs = &plan.slabs[i];
+        let (t0, t1) = slabs
+            .first()
+            .zip(slabs.last())
+            .map_or((0, 0), |(a, b)| (a.vt as i32, b.vt as i32 + 1));
+        if restore_ok[i] {
+            let _sp = obs::trace::span(
+                obs::trace::SpanKind::CacheRestore,
+                obs::trace::SpanArgs {
+                    t0,
+                    t1,
+                    ..Default::default()
+                },
+            );
+            restore(i);
+            obs::add(obs::Counter::TilesReused, 1);
+            reused.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _sp = obs::trace::span(
+                obs::trace::SpanKind::Tile,
+                obs::trace::SpanArgs {
+                    t0,
+                    t1,
+                    ..Default::default()
+                },
+            );
+            for slab in slabs {
+                for b in slab.range.split_xy(plan.block_x, plan.block_y) {
+                    step(slab.vt, &b);
+                }
+            }
+            after_compute(i);
+            obs::add(obs::Counter::WavefrontTiles, 1);
+            obs::add(obs::Counter::TilesRecomputed, 1);
+            recomputed.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    sw.stop();
+    IncrementalOutcome {
+        total: plan.len(),
+        reused: reused.into_inner(),
+        recomputed: recomputed.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf_plan() -> TilePlan {
+        TilePlan::wavefront(
+            Shape::new(23, 17, 4),
+            11,
+            &WavefrontSpec::new(8, 8, 4, 2, 4, 4),
+            2,
+        )
+    }
+
+    fn payload_of(bytes: usize) -> TilePayload {
+        TilePayload {
+            slabs: vec![SlabPayload {
+                slab: Slab {
+                    vt: 0,
+                    range: Range3::new((0, 1), (0, 1), (0, bytes / 4)),
+                },
+                data: vec![0.0; bytes / 4],
+            }],
+        }
+    }
+
+    fn sig(digest: u64, x0: usize, y0: usize) -> SourceSig {
+        SourceSig {
+            digest,
+            rect: DirtyRect {
+                x0,
+                x1: x0 + 2,
+                y0,
+                y1: y0 + 2,
+            },
+        }
+    }
+
+    #[test]
+    fn plan_edges_are_consistent() {
+        let plan = wf_plan();
+        assert!(!plan.is_empty());
+        for (i, ps) in plan.preds.iter().enumerate() {
+            for &p in ps {
+                assert!(
+                    plan.succs[p as usize].contains(&(i as u32)),
+                    "succ list of {p} misses {i}"
+                );
+            }
+        }
+        let nedges: usize = plan.preds.iter().map(Vec::len).sum();
+        assert_eq!(nedges, plan.succs.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn spaceblocked_plan_has_one_node_per_step_and_block() {
+        let shape = Shape::new(16, 16, 3);
+        let plan = TilePlan::spaceblocked(shape, 4, 8, 8, 2);
+        assert_eq!(plan.len(), 4 * 4); // 4 steps × 2×2 blocks
+        for slabs in &plan.slabs {
+            assert_eq!(slabs.len(), 1);
+        }
+        // Skew-free: every slab is exactly one (8, 8) block.
+        for slabs in &plan.slabs {
+            let r = &slabs[0].range;
+            assert_eq!((r.x1 - r.x0, r.y1 - r.y0), (8, 8));
+        }
+    }
+
+    #[test]
+    fn cone_equals_oracle_on_sample_rects() {
+        let plan = wf_plan();
+        for rect in [
+            DirtyRect { x0: 0, x1: 2, y0: 0, y1: 2 },
+            DirtyRect { x0: 21, x1: 23, y0: 15, y1: 17 },
+            DirtyRect { x0: 10, x1: 12, y0: 5, y1: 7 },
+        ] {
+            assert_eq!(dirty_cone(&plan, &[rect]), dirty_cone_oracle(&plan, &[rect]));
+        }
+    }
+
+    #[test]
+    fn empty_delta_dirties_nothing_full_rect_everything() {
+        let plan = wf_plan();
+        assert!(dirty_cone(&plan, &[]).iter().all(|&d| !d));
+        let all = DirtyRect { x0: 0, x1: 23, y0: 0, y1: 17 };
+        assert!(dirty_cone(&plan, &[all]).iter().all(|&d| d));
+    }
+
+    #[test]
+    fn cache_mb_parsing() {
+        assert_eq!(cache_mb_from(None), DEFAULT_CACHE_MB);
+        assert_eq!(cache_mb_from(Some("")), DEFAULT_CACHE_MB);
+        assert_eq!(cache_mb_from(Some("garbage")), DEFAULT_CACHE_MB);
+        assert_eq!(cache_mb_from(Some("0")), 0);
+        assert_eq!(cache_mb_from(Some("128")), 128);
+        assert_eq!(cache_mb_from(Some(" 16 ")), 16);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c = TileCache::with_capacity_mb(0);
+        assert!(!c.enabled());
+        assert_eq!(c.begin_run(1, &[sig(1, 0, 0)], 0), None);
+        c.insert(1, 0, 0, payload_of(64));
+        assert!(c.lookup(1, 0, 0).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn roundtrip_and_delta_diffing() {
+        let c = TileCache::with_capacity_mb(4);
+        // First run: cold.
+        assert_eq!(c.begin_run(7, &[sig(10, 0, 0)], 99), None);
+        c.insert(7, 3, 42, payload_of(64));
+        c.finish_run(7, vec![sig(10, 0, 0)], 99);
+        // Rerun with a moved source: delta holds old + new rects.
+        let d = c.begin_run(7, &[sig(11, 5, 5)], 99).expect("warm rerun");
+        assert_eq!(
+            d.rects,
+            vec![
+                DirtyRect { x0: 0, x1: 2, y0: 0, y1: 2 },
+                DirtyRect { x0: 5, x1: 7, y0: 5, y1: 7 },
+            ]
+        );
+        assert!(!d.receivers_changed);
+        assert!(c.lookup(7, 3, 42).is_some());
+        assert!(c.lookup(7, 3, 41).is_none(), "mask mismatch must miss");
+        c.finish_run(7, vec![sig(11, 5, 5)], 99);
+        // Receiver-only change.
+        let d = c.begin_run(7, &[sig(11, 5, 5)], 100).expect("warm rerun");
+        assert!(d.rects.is_empty());
+        assert!(d.receivers_changed);
+        // Added source.
+        c.finish_run(7, vec![sig(11, 5, 5)], 100);
+        let d = c
+            .begin_run(7, &[sig(11, 5, 5), sig(12, 9, 9)], 100)
+            .expect("warm rerun");
+        assert_eq!(d.rects, vec![DirtyRect { x0: 9, x1: 11, y0: 9, y1: 11 }]);
+    }
+
+    #[test]
+    fn aborted_run_forces_cold_restart() {
+        let c = TileCache::with_capacity_mb(4);
+        assert_eq!(c.begin_run(5, &[sig(1, 0, 0)], 0), None);
+        c.insert(5, 0, 0, payload_of(64));
+        // No finish_run: the next begin must be cold and drop the entry.
+        assert_eq!(c.begin_run(5, &[sig(1, 0, 0)], 0), None);
+        assert!(c.lookup(5, 0, 0).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_counts() {
+        let c = TileCache::with_capacity_mb(1); // 1 MiB
+        assert_eq!(c.begin_run(1, &[], 0), None);
+        let quarter = 256 * 1024;
+        for node in 0..4u32 {
+            c.insert(1, node, 0, payload_of(quarter));
+        }
+        assert_eq!(c.stats().bytes, 4 * quarter);
+        // Touch node 0 so node 1 is the LRU victim.
+        assert!(c.lookup(1, 0, 0).is_some());
+        c.insert(1, 4, 0, payload_of(quarter));
+        let s = c.stats();
+        assert!(s.bytes <= c.capacity_bytes(), "{} > cap", s.bytes);
+        assert_eq!(s.evictions, 1);
+        assert!(c.lookup(1, 1, 0).is_none(), "LRU entry should be gone");
+        assert!(c.lookup(1, 0, 0).is_some(), "recently-used entry survives");
+        // An over-budget payload is refused outright.
+        c.insert(1, 9, 0, payload_of(2 * 1024 * 1024));
+        assert!(c.lookup(1, 9, 0).is_none());
+    }
+
+    #[test]
+    fn tune_memo_roundtrip() {
+        let c = TileCache::with_capacity_mb(1);
+        assert_eq!(c.tune_lookup(3), None);
+        c.tune_store(3, (16, 8));
+        assert_eq!(c.tune_lookup(3), Some((16, 8)));
+        let off = TileCache::with_capacity_mb(0);
+        off.tune_store(3, (16, 8));
+        assert_eq!(off.tune_lookup(3), None);
+    }
+
+    #[test]
+    fn execute_incremental_counts_are_exact() {
+        let plan = wf_plan();
+        let n = plan.len();
+        let restore_ok: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let expected_reused = restore_ok.iter().filter(|&&b| b).count();
+        let stepped = AtomicUsize::new(0);
+        let restored = AtomicUsize::new(0);
+        let captured = AtomicUsize::new(0);
+        let out = execute_incremental(
+            &plan,
+            Policy::Sequential,
+            &restore_ok,
+            |_vt, b| {
+                stepped.fetch_add(b.len(), Ordering::Relaxed);
+            },
+            |_i| {
+                restored.fetch_add(1, Ordering::Relaxed);
+            },
+            |_i| {
+                captured.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.total, n);
+        assert_eq!(out.reused + out.recomputed, out.total);
+        assert_eq!(out.reused, expected_reused);
+        assert_eq!(restored.into_inner(), expected_reused);
+        assert_eq!(captured.into_inner(), n - expected_reused);
+        assert!(stepped.into_inner() > 0);
+    }
+
+    #[test]
+    fn cold_execute_covers_every_point_like_plain_dataflow() {
+        let shape = Shape::new(20, 14, 3);
+        let plan = TilePlan::wavefront(shape, 7, &WavefrontSpec::new(8, 8, 3, 2, 3, 4), 2);
+        for policy in [Policy::Sequential, Policy::Capped { threads: 2 }] {
+            let total = AtomicUsize::new(0);
+            let out = execute_incremental(
+                &plan,
+                policy,
+                &vec![false; plan.len()],
+                |_vt, b| {
+                    total.fetch_add(b.len(), Ordering::Relaxed);
+                },
+                |_| {},
+                |_| {},
+            );
+            assert_eq!(out.reused, 0);
+            assert_eq!(total.into_inner(), 7 * shape.len());
+        }
+    }
+
+    #[test]
+    fn slab_payload_pencil_indexing() {
+        let range = Range3::new((2, 5), (1, 4), (0, 4));
+        let mut data = vec![0.0f32; range.len()];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let p = SlabPayload {
+            slab: Slab { vt: 0, range },
+            data,
+        };
+        assert_eq!(p.pencil(2, 1)[0], 0.0);
+        assert_eq!(p.pencil(2, 2)[0], 4.0);
+        assert_eq!(p.pencil(3, 1)[0], 12.0);
+        assert_eq!(p.pencil(4, 3)[3], 35.0);
+    }
+}

@@ -42,6 +42,13 @@
 //! ([`diamond::diamond_tile_graph`]). It too is bitwise identical to the
 //! schedules above.
 //!
+//! [`incremental`] layers differential recomputation over the dataflow
+//! substrate: a schedule-agnostic [`TilePlan`] snapshot of any tile graph, a
+//! dirty-cone pass ([`dirty_cone`]) that marks the causal cone of a
+//! [`RunDelta`] between two runs, and a bounded LRU [`TileCache`] of
+//! per-tile outputs so [`incremental::execute_incremental`] restores clean
+//! tiles bit-for-bit and recomputes only the cone.
+//!
 //! [`legality`] provides a dependency checker that validates any schedule
 //! against the stencil's radius and the circular time-buffer depth
 //! (including the tile-disjointness proof obligation of the diagonal
@@ -53,6 +60,7 @@
 
 pub mod autotune;
 pub mod diamond;
+pub mod incremental;
 pub mod legality;
 pub mod spaceblock;
 pub mod wavefront;
@@ -63,5 +71,10 @@ pub use autotune::{
     TuneResult,
 };
 pub use diamond::{DiamondAxis, DiamondSpec, DiamondTile};
+pub use incremental::{
+    cache_mb_from, dirty_cone, dirty_cone_oracle, execute_incremental, CacheStats, DirtyRect,
+    IncrementalOutcome, RunDelta, SlabPayload, SourceSig, TileCache, TilePayload, TilePlan,
+    DEFAULT_CACHE_MB,
+};
 pub use spaceblock::SpaceBlockSpec;
 pub use wavefront::{Slab, Tile, WavefrontSpec};

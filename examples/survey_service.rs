@@ -28,7 +28,8 @@
 use std::sync::Arc;
 
 use tempest::core::config::EquationKind;
-use tempest::core::SimConfig;
+use tempest::core::operator::{KernelPath, Schedule, SparseMode};
+use tempest::core::{Execution, SimConfig};
 use tempest::grid::{Domain, Model, Shape};
 use tempest::obs;
 use tempest::obs::metrics::Gauge;
@@ -46,6 +47,22 @@ fn build_survey(shots: usize, f0: f32) -> Arc<Survey> {
     let rec = SparsePoints::receiver_line(&domain, 16, 0.08);
     let mut s = Survey::new(model, cfg).with_receivers(rec);
     s.add_shot_line(shots, 0.08);
+    Arc::new(s)
+}
+
+/// A small survey whose shot line sits at `shot_frac` — re-built at a
+/// slightly different fraction it is "the same survey, sources nudged",
+/// the canonical incremental-rework delta (DESIGN.md §16).
+fn build_nudged_survey(shot_frac: f32) -> Arc<Survey> {
+    let n = 32;
+    let domain = Domain::uniform(Shape::cube(n), 10.0);
+    let model = Model::two_layer(domain, 1500.0, 2800.0, 0.55);
+    let cfg = SimConfig::new(domain, 4, EquationKind::Acoustic, model.vmax(), 60.0)
+        .with_f0(15.0)
+        .with_boundary(4, 0.3);
+    let rec = SparsePoints::receiver_line(&domain, 8, 0.08);
+    let mut s = Survey::new(model, cfg).with_receivers(rec);
+    s.add_shot_line(2, shot_frac);
     Arc::new(s)
 }
 
@@ -134,6 +151,43 @@ fn main() {
                 println!("       shot {shot}: gather {nt}x{nrec}, energy {energy:.3e}");
             }
         }
+    }
+
+    // Interactive rework: submit a survey, then resubmit it with the shot
+    // line nudged. Fused-sparse shots under a tile-plannable schedule route
+    // through the incremental engine (DESIGN.md §16), and the service lends
+    // one TileCache across jobs — so the rerun restores every tile outside
+    // the nudge's causal cone instead of recomputing it.
+    let inc_opts = SurveyOptions {
+        exec: Execution {
+            schedule: Schedule::SpaceBlocked {
+                block_x: 8,
+                block_y: 8,
+            },
+            sparse: SparseMode::FusedCompressed,
+            policy: Policy::Parallel,
+            kernel: KernelPath::default(),
+        },
+        ..SurveyOptions::default()
+    };
+    let cold = svc.submit(JobSpec::new(build_nudged_survey(0.08)).with_opts(inc_opts.clone()));
+    svc.wait(cold);
+    let before = svc.tile_cache().map(|c| c.stats());
+    let warm = svc.submit(JobSpec::new(build_nudged_survey(0.085)).with_opts(inc_opts));
+    svc.wait(warm);
+    match (before, svc.tile_cache().map(|c| c.stats())) {
+        (Some(b), Some(a)) => {
+            let restored = a.hits - b.hits;
+            assert!(restored > 0, "nudged rerun restored no tiles from the service cache");
+            println!(
+                "\nnudged-source rerun: {restored} tiles restored bitwise from the \
+                 service cache ({} entries / {} KiB, lifetime hit rate {:.1}%)",
+                a.entries,
+                a.bytes / 1024,
+                a.hit_rate_pct(),
+            );
+        }
+        _ => println!("\ntile cache disabled (TEMPEST_CACHE_MB=0): rerun recomputed everything"),
     }
 
     if obs::enabled() {
